@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the rows/series its paper figure reports and mirrors
+// them into CSV files under bench_results/. Environment overrides:
+//   DD_BENCH_SCALE  — multiplies dataset node counts (default 1.0)
+//   DD_BENCH_FAST   — "1" shrinks sweeps for smoke runs
+
+#ifndef DEEPDIRECT_BENCH_BENCH_COMMON_H_
+#define DEEPDIRECT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/csv_writer.h"
+
+namespace deepdirect::bench {
+
+/// Dataset scale multiplier from DD_BENCH_SCALE (default 1.0).
+inline double BenchScale() {
+  const char* env = std::getenv("DD_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+/// Whether DD_BENCH_FAST=1 smoke mode is requested.
+inline bool BenchFast() {
+  const char* env = std::getenv("DD_BENCH_FAST");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Opens bench_results/<name>.csv (creating the directory).
+inline util::CsvWriter OpenResultCsv(const std::string& name) {
+  const auto status = util::EnsureDirectory("bench_results");
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+  return util::CsvWriter("bench_results/" + name + ".csv");
+}
+
+}  // namespace deepdirect::bench
+
+#endif  // DEEPDIRECT_BENCH_BENCH_COMMON_H_

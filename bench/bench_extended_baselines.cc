@@ -1,0 +1,130 @@
+// Extension bench: the paper's five methods side by side with the extra
+// baselines this library implements — node2vec, DeepWalk (random-walk node
+// embeddings + edge operators) and LINE-on-the-line-graph (the indirect
+// edge-embedding route Sec. 4 rejects) — plus the line-graph size blow-up
+// and training-cost comparison that grounds the rejection empirically.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/applications.h"
+#include "core/line_graph_model.h"
+#include "core/models.h"
+#include "core/node2vec_model.h"
+#include "core/sae_model.h"
+#include "core/spring_rank_model.h"
+#include "data/datasets.h"
+#include "graph/algorithms.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace deepdirect;
+  const double scale = bench::BenchScale();
+  const std::vector<data::DatasetId> datasets =
+      bench::BenchFast()
+          ? std::vector<data::DatasetId>{data::DatasetId::kTwitter}
+          : std::vector<data::DatasetId>{data::DatasetId::kTwitter,
+                                         data::DatasetId::kSlashdot};
+  auto csv = bench::OpenResultCsv("extended_baselines");
+  csv.WriteRow({"dataset", "method", "accuracy", "train_seconds"});
+
+  for (data::DatasetId id : datasets) {
+    const auto net = data::MakeDataset(id, scale);
+    util::Rng rng(55);
+    const auto split = graph::HideDirections(net, 0.2, rng);
+    std::printf("=== Extended baselines on %s (20%% directed) ===\n\n",
+                data::DatasetName(id));
+    util::TablePrinter table({"method", "accuracy", "train_seconds"});
+    auto record = [&](const std::string& name, double accuracy,
+                      double seconds) {
+      table.AddRow({name, util::TablePrinter::FormatDouble(accuracy, 4),
+                    util::TablePrinter::FormatDouble(seconds, 2)});
+      csv.WriteRow({data::DatasetName(id), name,
+                    util::TablePrinter::FormatDouble(accuracy, 4),
+                    util::TablePrinter::FormatDouble(seconds, 2)});
+    };
+
+    const auto configs = core::MethodConfigs::FastDefaults();
+    for (core::Method method : core::AllMethods()) {
+      util::Timer timer;
+      const auto model = core::TrainMethod(split.network, method, configs);
+      const double seconds = timer.ElapsedSeconds();
+      record(core::MethodName(method),
+             core::DirectionDiscoveryAccuracy(split, *model), seconds);
+    }
+
+    // node2vec (p = 1, q = 0.5: exploratory walks) and DeepWalk.
+    {
+      core::Node2vecModelConfig config;
+      config.node2vec.walks.walks_per_node = 8;
+      config.node2vec.walks.walk_length = 30;
+      config.node2vec.walks.inout_param = 0.5;
+      config.node2vec.skipgram.dimensions = 32;
+      config.node2vec.skipgram.epochs = 2;
+      config.display_name = "node2vec";
+      util::Timer timer;
+      const auto model = core::Node2vecModel::Train(split.network, config);
+      record("node2vec", core::DirectionDiscoveryAccuracy(split, *model),
+             timer.ElapsedSeconds());
+    }
+    {
+      core::Node2vecModelConfig config;
+      config.node2vec = embedding::Node2vecConfig::DeepWalk();
+      config.node2vec.walks.walks_per_node = 8;
+      config.node2vec.walks.walk_length = 30;
+      config.node2vec.skipgram.dimensions = 32;
+      config.node2vec.skipgram.epochs = 2;
+      config.display_name = "DeepWalk";
+      util::Timer timer;
+      const auto model = core::Node2vecModel::Train(split.network, config);
+      record("DeepWalk", core::DirectionDiscoveryAccuracy(split, *model),
+             timer.ElapsedSeconds());
+    }
+
+    // SpringRank: status inference from labeled ties (status-theory
+    // baseline).
+    {
+      util::Timer timer;
+      const auto model = core::SpringRankModel::Train(
+          split.network, core::SpringRankModelConfig{});
+      record("SpringRank", core::DirectionDiscoveryAccuracy(split, *model),
+             timer.ElapsedSeconds());
+    }
+
+    // SAE: the autoencoder branch of deep graph embedding (paper ref [13]).
+    {
+      core::SaeModelConfig config;
+      config.sae.autoencoder.encoder_dims = {128, 32};
+      config.sae.autoencoder.epochs = 5;
+      util::Timer timer;
+      const auto model = core::SaeModel::Train(split.network, config);
+      record("SAE", core::DirectionDiscoveryAccuracy(split, *model),
+             timer.ElapsedSeconds());
+    }
+
+    // The rejected line-graph route, with its blow-up report.
+    {
+      core::LineGraphModelConfig config;
+      config.embedding.dimensions = 64;
+      config.embedding.samples_per_edge = 10;
+      util::Timer timer;
+      const auto model = core::LineGraphModel::Train(split.network, config);
+      const double seconds = timer.ElapsedSeconds();
+      record("LINE-linegraph",
+             core::DirectionDiscoveryAccuracy(split, *model), seconds);
+      std::printf(
+          "line digraph blow-up: %zu original nodes -> %zu line nodes; "
+          "%zu ties -> %llu line edges\n",
+          split.network.num_nodes(), model->line_graph_nodes(),
+          split.network.num_ties(),
+          static_cast<unsigned long long>(model->line_graph_edges()));
+    }
+
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Google-benchmark microbenchmarks for the hot primitives: alias sampling,
+// connected-tie sampling, triad census, BFS, tie-index construction,
+// E-Step iteration throughput (via a tiny training run), and line-graph
+// construction (the size-blowup argument of Sec. 4).
+
+#include <benchmark/benchmark.h>
+
+#include "core/deepdirect.h"
+#include "core/tie_index.h"
+#include "data/datasets.h"
+#include "embedding/line.h"
+#include "graph/algorithms.h"
+#include "graph/centrality.h"
+#include "graph/line_graph.h"
+#include "graph/triads.h"
+#include "util/alias_table.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace deepdirect;
+
+const graph::MixedSocialNetwork& BenchNetwork() {
+  static const graph::MixedSocialNetwork* net = [] {
+    return new graph::MixedSocialNetwork(
+        data::MakeDataset(data::DatasetId::kSlashdot, 0.5));
+  }();
+  return *net;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  std::vector<double> weights(net.num_arcs());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = net.TieDegree(static_cast<graph::ArcId>(i)) + 1.0;
+  }
+  const util::AliasTable table(weights);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  std::vector<double> weights(net.num_arcs());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = net.TieDegree(static_cast<graph::ArcId>(i)) + 1.0;
+  }
+  for (auto _ : state) {
+    util::AliasTable table(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_AliasTableBuild);
+
+void BM_SampleConnectedTie(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  const core::TieIndex index(net);
+  util::Rng rng(3);
+  size_t arc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.SampleConnectedTie(arc, rng));
+    arc = (arc + 1) % index.num_arcs();
+  }
+}
+BENCHMARK(BM_SampleConnectedTie);
+
+void BM_TieIndexBuild(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  for (auto _ : state) {
+    core::TieIndex index(net);
+    benchmark::DoNotOptimize(index.num_arcs());
+  }
+}
+BENCHMARK(BM_TieIndexBuild);
+
+void BM_DirectedTriadCounts(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  graph::ArcId arc = 0;
+  for (auto _ : state) {
+    const auto& a = net.arc(arc);
+    benchmark::DoNotOptimize(graph::DirectedTriadCounts(net, a.src, a.dst));
+    arc = (arc + 1) % static_cast<graph::ArcId>(net.num_arcs());
+  }
+}
+BENCHMARK(BM_DirectedTriadCounts);
+
+void BM_BfsDistances(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  graph::NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BfsDistances(net, source));
+    source = (source + 1) % static_cast<graph::NodeId>(net.num_nodes());
+  }
+}
+BENCHMARK(BM_BfsDistances);
+
+void BM_SampledBetweenness(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  for (auto _ : state) {
+    util::Rng rng(5);
+    benchmark::DoNotOptimize(
+        graph::BetweennessCentralitySampled(net, 16, rng));
+  }
+}
+BENCHMARK(BM_SampledBetweenness);
+
+void BM_LineGraphBuild(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  for (auto _ : state) {
+    const auto line = graph::BuildLineGraph(net);
+    benchmark::DoNotOptimize(line.edges.size());
+  }
+  state.counters["edges"] =
+      static_cast<double>(graph::PredictLineGraphSize(net));
+}
+BENCHMARK(BM_LineGraphBuild);
+
+void BM_DeepDirectEStepIterations(benchmark::State& state) {
+  // Measures E-Step throughput: a fixed small iteration budget per run.
+  const auto& net = BenchNetwork();
+  core::DeepDirectConfig config;
+  config.dimensions = 64;
+  config.negative_samples = 5;
+  for (auto _ : state) {
+    // epochs chosen so one run is ~0.1 |C(G)| iterations.
+    config.epochs = 0.1;
+    auto model = core::DeepDirectModel::Train(net, config);
+    benchmark::DoNotOptimize(model->embeddings().rows());
+  }
+  const core::TieIndex index(net);
+  state.counters["iters_per_run"] =
+      0.1 * static_cast<double>(index.NumConnectedTiePairs());
+}
+BENCHMARK(BM_DeepDirectEStepIterations)->Unit(benchmark::kMillisecond);
+
+void BM_LineEmbeddingEpoch(benchmark::State& state) {
+  const auto& net = BenchNetwork();
+  embedding::LineConfig config;
+  config.dimensions = 64;
+  config.samples_per_arc = 1;
+  for (auto _ : state) {
+    auto line = embedding::LineEmbedding::Train(net, config);
+    benchmark::DoNotOptimize(line.dimensions());
+  }
+}
+BENCHMARK(BM_LineEmbeddingEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

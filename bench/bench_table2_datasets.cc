@@ -1,0 +1,64 @@
+// Table 2 reproduction: dataset statistics (nodes, ties), extended with the
+// tie-type breakdown and clustering so the synthetic stand-ins can be
+// compared to their namesakes.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "graph/statistics.h"
+#include "graph/triads.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace deepdirect;
+  const double scale = bench::BenchScale();
+  std::printf("=== Table 2: data sets (scale %.2f) ===\n", scale);
+
+  util::TablePrinter table({"Data sets", "Nodes", "Ties", "Directed",
+                            "Bidirectional", "Bidir%", "Clustering",
+                            "Recipr", "Assort", "AvgPath"});
+  auto csv = bench::OpenResultCsv("table2_datasets");
+  csv.WriteRow({"dataset", "nodes", "ties", "directed", "bidirectional",
+                "bidir_fraction", "clustering", "reciprocity",
+                "assortativity", "avg_path_length"});
+
+  for (data::DatasetId id : data::AllDatasets()) {
+    const auto net = data::MakeDataset(id, scale);
+    const double bidir_fraction =
+        static_cast<double>(net.num_bidirectional_ties()) /
+        static_cast<double>(net.num_ties());
+    const double clustering = graph::GlobalClusteringCoefficient(net);
+    const double reciprocity = graph::Reciprocity(net);
+    const double assortativity = graph::DegreeAssortativity(net);
+    util::Rng rng(5);
+    const double path_length =
+        graph::AveragePathLengthSampled(net, 64, rng);
+    table.AddRow({data::DatasetName(id), std::to_string(net.num_nodes()),
+                  std::to_string(net.num_ties()),
+                  std::to_string(net.num_directed_ties()),
+                  std::to_string(net.num_bidirectional_ties()),
+                  util::TablePrinter::FormatDouble(bidir_fraction, 3),
+                  util::TablePrinter::FormatDouble(clustering, 3),
+                  util::TablePrinter::FormatDouble(reciprocity, 3),
+                  util::TablePrinter::FormatDouble(assortativity, 3),
+                  util::TablePrinter::FormatDouble(path_length, 2)});
+    csv.WriteRow({data::DatasetName(id), std::to_string(net.num_nodes()),
+                  std::to_string(net.num_ties()),
+                  std::to_string(net.num_directed_ties()),
+                  std::to_string(net.num_bidirectional_ties()),
+                  util::TablePrinter::FormatDouble(bidir_fraction, 4),
+                  util::TablePrinter::FormatDouble(clustering, 4),
+                  util::TablePrinter::FormatDouble(reciprocity, 4),
+                  util::TablePrinter::FormatDouble(assortativity, 4),
+                  util::TablePrinter::FormatDouble(path_length, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 2): Twitter 65,044/526,296; LiveJournal "
+      "80,000/1,894,724;\nEpinions 75,879/508,837; Slashdot 77,360/905,468; "
+      "Tencent 75,000/705,864.\nSynthetic stand-ins preserve ties-per-node "
+      "ratios and bidirectional shares at reduced scale.\n");
+  return 0;
+}

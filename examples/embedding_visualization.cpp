@@ -1,0 +1,132 @@
+// Embedding visualization (the Fig. 7 protocol as a reusable example).
+//
+// Extracts the top-degree subnetwork of a dataset, hides 90% of directed
+// ties, embeds the network with DeepDirect and with LINE, projects the
+// hidden ties' embeddings to 2D with t-SNE, writes both point clouds to
+// CSV (color = true direction), and prints quantitative separability
+// scores. DeepDirect's cloud separates by direction; LINE's does not.
+//
+// Build & run:  ./build/examples/embedding_visualization
+// Output:       embedding_deepdirect.csv, embedding_line.csv
+
+#include <cstdio>
+#include <vector>
+
+#include "core/deepdirect.h"
+#include "core/line_model.h"
+#include "data/datasets.h"
+#include "graph/algorithms.h"
+#include "ml/separability.h"
+#include "ml/tsne.h"
+#include "util/csv_writer.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace deepdirect;
+
+// Collects the embedding rows of the hidden ties (true-direction arcs) into
+// a matrix plus direction labels, projects with t-SNE, writes CSV, and
+// returns (knn agreement, centroid accuracy).
+struct VizScores {
+  double knn;
+  double centroid;
+};
+
+VizScores ProjectAndWrite(const ml::Matrix& tie_vectors,
+                          const std::vector<int>& labels,
+                          const std::string& csv_path) {
+  ml::TsneConfig tsne;
+  tsne.perplexity = 30.0;
+  tsne.iterations = 400;
+  tsne.seed = 5;
+  const auto points = ml::TsneEmbed2D(tie_vectors, tsne);
+
+  util::CsvWriter csv(csv_path);
+  csv.WriteRow({"x", "y", "true_direction"});
+  for (size_t i = 0; i < points.size(); ++i) {
+    csv.WriteNumericRow(std::to_string(labels[i]),
+                        {points[i][0], points[i][1]});
+  }
+  csv.Close();
+
+  return {ml::KnnLabelAgreement(points, labels, 10),
+          ml::NearestCentroidAccuracy(points, labels)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace deepdirect;
+
+  // Top-1%-degree subnetwork of (synthetic) Slashdot, per Sec. 6.2.5 —
+  // our synthetic stand-in is smaller, so take the top 20% to get a
+  // few-hundred-node core.
+  const graph::MixedSocialNetwork slashdot =
+      data::MakeDataset(data::DatasetId::kSlashdot);
+  const graph::MixedSocialNetwork core_net =
+      graph::TopDegreeSubnetwork(slashdot, 0.2);
+  util::Rng rng(301);
+  const graph::HiddenDirectionSplit split =
+      graph::HideDirections(core_net, /*directed_fraction=*/0.1, rng);
+  std::printf("visualization subnetwork: %zu nodes, %zu ties, %zu hidden\n",
+              split.network.num_nodes(), split.network.num_ties(),
+              split.hidden_true_arcs.size());
+
+  // Cap the visualized ties so the O(n^2) t-SNE stays fast.
+  std::vector<graph::ArcId> sample = split.hidden_true_arcs;
+  if (sample.size() > 600) {
+    rng.Shuffle(sample);
+    sample.resize(600);
+  }
+
+  // --- DeepDirect tie embeddings.
+  core::DeepDirectConfig dd_config;
+  dd_config.dimensions = 64;
+  dd_config.epochs = 5.0;
+  dd_config.seed = 307;
+  const auto deep = core::DeepDirectModel::Train(split.network, dd_config);
+
+  // For each hidden tie, embed its canonical (smaller-endpoint) arc and
+  // label it by whether that arc is the true direction — exactly the
+  // red/blue coloring of Fig. 7.
+  ml::Matrix deep_vectors(sample.size(), dd_config.dimensions);
+  std::vector<int> labels(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const graph::Arc& a = split.network.arc(sample[i]);
+    const graph::NodeId lo = std::min(a.src, a.dst);
+    const graph::NodeId hi = std::max(a.src, a.dst);
+    labels[i] = (a.src == lo) ? 1 : 0;  // true direction is lo->hi?
+    const auto row = deep->TieEmbedding(lo, hi);
+    for (size_t k = 0; k < row.size(); ++k) deep_vectors.At(i, k) = row[k];
+  }
+  const VizScores deep_scores =
+      ProjectAndWrite(deep_vectors, labels, "embedding_deepdirect.csv");
+
+  // --- LINE tie embeddings (concatenated endpoints).
+  core::LineModelConfig line_config;
+  line_config.line.dimensions = 32;
+  line_config.line.seed = 311;
+  const auto line = core::LineModel::Train(split.network, line_config);
+  ml::Matrix line_vectors(sample.size(), line->tie_feature_dims());
+  std::vector<double> features(line->tie_feature_dims());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const graph::Arc& a = split.network.arc(sample[i]);
+    const graph::NodeId lo = std::min(a.src, a.dst);
+    const graph::NodeId hi = std::max(a.src, a.dst);
+    line->TieFeatures(lo, hi, features);
+    for (size_t k = 0; k < features.size(); ++k) {
+      line_vectors.At(i, k) = static_cast<float>(features[k]);
+    }
+  }
+  const VizScores line_scores =
+      ProjectAndWrite(line_vectors, labels, "embedding_line.csv");
+
+  std::printf("\nseparability of the 2D projections (higher = cleaner split):\n");
+  std::printf("  %-12s knn=%.4f  centroid=%.4f\n", "DeepDirect",
+              deep_scores.knn, deep_scores.centroid);
+  std::printf("  %-12s knn=%.4f  centroid=%.4f\n", "LINE", line_scores.knn,
+              line_scores.centroid);
+  std::printf("\nwrote embedding_deepdirect.csv and embedding_line.csv\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Direction quantification on bidirectional ties (Sec. 5.2 / Sec. 6.3).
+//
+// On a network rich in bidirectional ties (like the paper's LiveJournal,
+// Epinions and Slashdot), quantifying both directions of each bidirectional
+// tie with the learned directionality function — the *directionality
+// adjacency matrix* — improves Jaccard-coefficient link prediction over the
+// plain binary adjacency matrix.
+//
+// Build & run:  ./build/examples/link_prediction
+
+#include <cstdio>
+
+#include "core/applications.h"
+#include "core/deepdirect.h"
+#include "data/generators.h"
+#include "graph/algorithms.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace deepdirect;
+
+  data::GeneratorConfig generator;
+  generator.num_nodes = 1000;
+  generator.ties_per_node = 6.0;
+  generator.bidirectional_fraction = 0.55;  // bidirectional-heavy
+  generator.direction_noise = 0.08;
+  generator.seed = 201;
+  const graph::MixedSocialNetwork network =
+      data::GenerateStatusNetwork(generator);
+  std::printf("network: %zu nodes, %zu ties (%.0f%% bidirectional)\n",
+              network.num_nodes(), network.num_ties(),
+              100.0 * static_cast<double>(network.num_bidirectional_ties()) /
+                  static_cast<double>(network.num_ties()));
+
+  // Sec. 6.3 protocol: keep 80% of ties as the training network G'.
+  core::LinkPredictionConfig link_config;
+  link_config.holdout_fraction = 0.2;
+  link_config.seed = 207;
+  util::Rng rng(link_config.seed);
+  const graph::TieHoldout holdout =
+      graph::HoldOutTies(network, link_config.holdout_fraction, rng);
+
+  // Baseline: original binary adjacency matrix.
+  const core::LinkPredictionResult baseline =
+      core::RunLinkPrediction(network, holdout, nullptr, link_config);
+
+  // Quantified: train DeepDirect on G' and replace bidirectional cells with
+  // directionality values.
+  core::DeepDirectConfig dd_config;
+  dd_config.dimensions = 64;
+  dd_config.epochs = 5.0;
+  dd_config.seed = 211;
+  const auto model = core::DeepDirectModel::Train(holdout.network, dd_config);
+  const core::LinkPredictionResult quantified =
+      core::RunLinkPrediction(network, holdout, model.get(), link_config);
+
+  util::TablePrinter table({"adjacency", "AUC", "candidates", "positives"});
+  table.AddRow({"original (binary)",
+                util::TablePrinter::FormatDouble(baseline.auc, 4),
+                std::to_string(baseline.num_candidates),
+                std::to_string(baseline.num_positives)});
+  table.AddRow({"directionality (DeepDirect)",
+                util::TablePrinter::FormatDouble(quantified.auc, 4),
+                std::to_string(quantified.num_candidates),
+                std::to_string(quantified.num_positives)});
+  std::printf("\nJaccard link prediction over 2-hop pairs:\n");
+  table.Print();
+  return 0;
+}

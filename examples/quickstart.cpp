@@ -1,0 +1,63 @@
+// Quickstart: the complete DeepDirect pipeline in ~60 lines.
+//
+//  1. Generate a synthetic directed social network.
+//  2. Hide the directions of 70% of its directed ties (they become
+//     undirected ties whose directions we want to recover).
+//  3. Train DeepDirect on the resulting mixed network.
+//  4. Discover directions for the undirected ties and measure accuracy
+//     against the hidden ground truth.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/applications.h"
+#include "core/deepdirect.h"
+#include "data/generators.h"
+#include "graph/algorithms.h"
+#include "util/random.h"
+
+int main() {
+  using namespace deepdirect;
+
+  // 1. A 800-node status-model social network (see src/data/generators.h).
+  data::GeneratorConfig generator;
+  generator.num_nodes = 800;
+  generator.ties_per_node = 5.0;
+  generator.bidirectional_fraction = 0.25;
+  generator.direction_noise = 0.08;
+  generator.seed = 7;
+  const graph::MixedSocialNetwork network =
+      data::GenerateStatusNetwork(generator);
+  std::printf("network: %zu nodes, %zu ties (%zu directed, %zu bidirectional)\n",
+              network.num_nodes(), network.num_ties(),
+              network.num_directed_ties(), network.num_bidirectional_ties());
+
+  // 2. Keep 30%% of directed ties labeled; hide the rest.
+  util::Rng rng(13);
+  const graph::HiddenDirectionSplit split =
+      graph::HideDirections(network, /*directed_fraction=*/0.3, rng);
+  std::printf("mixed network: %zu labeled directed ties, %zu undirected ties\n",
+              split.network.num_directed_ties(),
+              split.network.num_undirected_ties());
+
+  // 3. Train DeepDirect (E-Step edge embedding + D-Step logistic head).
+  core::DeepDirectConfig config;
+  config.dimensions = 64;
+  config.epochs = 5.0;
+  config.seed = 17;
+  const auto model = core::DeepDirectModel::Train(split.network, config);
+
+  // 4. Recover hidden directions and evaluate.
+  const double accuracy = core::DirectionDiscoveryAccuracy(split, *model);
+  std::printf("direction discovery accuracy on hidden ties: %.4f\n", accuracy);
+
+  // Peek at a few individual predictions.
+  const auto predictions = core::DiscoverDirections(split.network, *model);
+  std::printf("sample predictions (proposer -> responder, confidence):\n");
+  for (size_t i = 0; i < predictions.size() && i < 5; ++i) {
+    std::printf("  %u -> %u  (%.3f)\n", predictions[i].source,
+                predictions[i].target, predictions[i].confidence);
+  }
+  return 0;
+}

@@ -1,0 +1,235 @@
+// tdl_cli: a command-line front end to the library for file-based use.
+//
+//   tdl_cli generate --dataset twitter [--scale 1.0] --output net.edges
+//       Writes a synthetic mixed social network in edge-list format.
+//
+//   tdl_cli discover --input net.edges [--method deepdirect] \
+//                    [--output predictions.csv] [--hide 0.5] [--seed 42]
+//       Trains the chosen method on the network's directed ties and
+//       predicts the direction of every undirected tie. With --hide F, the
+//       input's directed ties are first split (F remain directed) and the
+//       prediction accuracy on the hidden part is reported.
+//
+//   tdl_cli quantify --input net.edges [--method deepdirect] \
+//                    [--output directionality.csv]
+//       Emits the directionality values d(u,v), d(v,u) for every
+//       bidirectional tie (the directionality adjacency matrix entries).
+//
+//   tdl_cli embed --input net.edges --output embeddings.csv [--dims 64]
+//       Trains DeepDirect and exports the tie embedding matrix M
+//       (one row per closure arc: u, v, m_uv...).
+//
+// Methods: deepdirect (default), hf, line, redirect-n, redirect-t.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/applications.h"
+#include "core/models.h"
+#include "data/datasets.h"
+#include "graph/algorithms.h"
+#include "graph/graph_io.h"
+#include "util/csv_writer.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace deepdirect;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tdl_cli generate --dataset <name> [--scale S] --output F\n"
+               "  tdl_cli discover --input F [--method M] [--output F]"
+               " [--hide F] [--seed N]\n"
+               "  tdl_cli quantify --input F [--method M] [--output F]\n"
+               "  tdl_cli embed    --input F --output F [--dims N]\n"
+               "methods: deepdirect hf line redirect-n redirect-t\n"
+               "datasets: twitter livejournal epinions slashdot tencent\n");
+  return 2;
+}
+
+std::optional<core::Method> ParseMethod(const std::string& name) {
+  if (name == "deepdirect") return core::Method::kDeepDirect;
+  if (name == "hf") return core::Method::kHf;
+  if (name == "line") return core::Method::kLine;
+  if (name == "redirect-n") return core::Method::kRedirectNsm;
+  if (name == "redirect-t") return core::Method::kRedirectTsm;
+  return std::nullopt;
+}
+
+std::optional<data::DatasetId> ParseDataset(const std::string& name) {
+  if (name == "twitter") return data::DatasetId::kTwitter;
+  if (name == "livejournal") return data::DatasetId::kLiveJournal;
+  if (name == "epinions") return data::DatasetId::kEpinions;
+  if (name == "slashdot") return data::DatasetId::kSlashdot;
+  if (name == "tencent") return data::DatasetId::kTencent;
+  return std::nullopt;
+}
+
+// Flat --key value parsing; returns empty string for absent keys.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+int RunGenerate(const std::map<std::string, std::string>& flags) {
+  const auto dataset_it = flags.find("dataset");
+  const auto output_it = flags.find("output");
+  if (dataset_it == flags.end() || output_it == flags.end()) return Usage();
+  const auto dataset = ParseDataset(dataset_it->second);
+  if (!dataset.has_value()) return Usage();
+  const double scale =
+      flags.contains("scale") ? std::atof(flags.at("scale").c_str()) : 1.0;
+
+  const auto net = data::MakeDataset(*dataset, scale);
+  const auto status = graph::SaveEdgeList(net, output_it->second);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu nodes / %zu ties to %s\n", net.num_nodes(),
+              net.num_ties(), output_it->second.c_str());
+  return 0;
+}
+
+int RunDiscoverOrQuantify(const std::string& command,
+                          const std::map<std::string, std::string>& flags) {
+  const auto input_it = flags.find("input");
+  if (input_it == flags.end()) return Usage();
+  auto loaded = graph::LoadEdgeList(input_it->second);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto method =
+      ParseMethod(flags.contains("method") ? flags.at("method")
+                                           : "deepdirect");
+  if (!method.has_value()) return Usage();
+  const uint64_t seed =
+      flags.contains("seed") ? std::strtoull(flags.at("seed").c_str(),
+                                             nullptr, 10)
+                             : 42;
+
+  graph::MixedSocialNetwork network = std::move(loaded).value();
+  std::optional<graph::HiddenDirectionSplit> split;
+  if (command == "discover" && flags.contains("hide")) {
+    const double hide = std::atof(flags.at("hide").c_str());
+    util::Rng rng(seed);
+    split = graph::HideDirections(network, 1.0 - hide, rng);
+  }
+  const graph::MixedSocialNetwork& train_net =
+      split.has_value() ? split->network : network;
+
+  if (train_net.num_directed_ties() == 0) {
+    std::fprintf(stderr,
+                 "error: the network has no directed ties; the TDL problem "
+                 "needs labeled data\n");
+    return 1;
+  }
+
+  std::printf("training %s on %zu nodes / %zu ties (%zu directed)...\n",
+              core::MethodName(*method), train_net.num_nodes(),
+              train_net.num_ties(), train_net.num_directed_ties());
+  const auto configs = core::MethodConfigs::FastDefaults();
+  const auto model = core::TrainMethod(train_net, *method, configs);
+
+  const std::string output =
+      flags.contains("output") ? flags.at("output") : "";
+  util::CsvWriter csv(output.empty() ? "/dev/null" : output);
+
+  if (command == "discover") {
+    csv.WriteRow({"proposer", "responder", "confidence"});
+    const auto predictions = core::DiscoverDirections(train_net, *model);
+    for (const auto& p : predictions) {
+      csv.WriteRow({std::to_string(p.source), std::to_string(p.target),
+                    std::to_string(p.confidence)});
+    }
+    std::printf("predicted directions for %zu undirected ties\n",
+                predictions.size());
+    if (split.has_value()) {
+      std::printf("accuracy on hidden ground truth: %.4f\n",
+                  core::DirectionDiscoveryAccuracy(*split, *model));
+    }
+  } else {  // quantify
+    csv.WriteRow({"u", "v", "d_uv", "d_vu"});
+    size_t count = 0;
+    for (graph::ArcId id : train_net.bidirectional_arcs()) {
+      const auto& arc = train_net.arc(id);
+      if (arc.src > arc.dst) continue;
+      csv.WriteRow({std::to_string(arc.src), std::to_string(arc.dst),
+                    std::to_string(model->Directionality(arc.src, arc.dst)),
+                    std::to_string(model->Directionality(arc.dst, arc.src))});
+      ++count;
+    }
+    std::printf("quantified %zu bidirectional ties\n", count);
+  }
+  if (!output.empty()) std::printf("wrote %s\n", output.c_str());
+  return 0;
+}
+
+int RunEmbed(const std::map<std::string, std::string>& flags) {
+  const auto input_it = flags.find("input");
+  const auto output_it = flags.find("output");
+  if (input_it == flags.end() || output_it == flags.end()) return Usage();
+  auto loaded = graph::LoadEdgeList(input_it->second);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto& network = loaded.value();
+  if (network.num_directed_ties() == 0) {
+    std::fprintf(stderr, "error: the network has no directed ties\n");
+    return 1;
+  }
+  core::DeepDirectConfig config =
+      core::MethodConfigs::FastDefaults().deepdirect;
+  if (flags.contains("dims")) {
+    config.dimensions = std::strtoull(flags.at("dims").c_str(), nullptr, 10);
+  }
+  std::printf("embedding %zu ties at l=%zu...\n", network.num_ties(),
+              config.dimensions);
+  const auto model = core::DeepDirectModel::Train(network, config);
+
+  util::CsvWriter csv(output_it->second);
+  std::vector<std::string> header{"u", "v"};
+  for (size_t k = 0; k < config.dimensions; ++k) {
+    header.push_back("m" + std::to_string(k));
+  }
+  csv.WriteRow(header);
+  std::vector<std::string> fields;
+  for (size_t e = 0; e < model->index().num_arcs(); ++e) {
+    const auto [u, v] = model->index().ArcAt(e);
+    const auto row = model->embeddings().Row(e);
+    fields.clear();
+    fields.push_back(std::to_string(u));
+    fields.push_back(std::to_string(v));
+    for (float value : row) fields.push_back(std::to_string(value));
+    csv.WriteRow(fields);
+  }
+  std::printf("wrote %zu tie-arc embeddings to %s\n",
+              model->index().num_arcs(), output_it->second.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "discover" || command == "quantify") {
+    return RunDiscoverOrQuantify(command, flags);
+  }
+  if (command == "embed") return RunEmbed(flags);
+  return Usage();
+}

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Plots the CSVs written by the bench harnesses under bench_results/.
+
+Usage:
+    python3 scripts/plot_results.py [bench_results_dir] [output_dir]
+
+Produces one PNG per reproduced figure (requires matplotlib; every plot is
+also skipped gracefully when its CSV is absent).
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def save(fig, output_dir, name):
+    path = os.path.join(output_dir, name)
+    fig.savefig(path, dpi=150, bbox_inches="tight")
+    plt.close(fig)
+    print(f"wrote {path}")
+
+
+def plot_fig3(results_dir, output_dir):
+    path = os.path.join(results_dir, "fig3_direction_discovery.csv")
+    if not os.path.exists(path):
+        return
+    rows = read_csv(path)
+    datasets = sorted({r["dataset"] for r in rows})
+    fig, axes = plt.subplots(1, len(datasets), figsize=(4 * len(datasets), 3.2),
+                             sharey=True)
+    if len(datasets) == 1:
+        axes = [axes]
+    for ax, dataset in zip(axes, datasets):
+        series = defaultdict(list)
+        for r in rows:
+            if r["dataset"] != dataset:
+                continue
+            series[r["method"]].append(
+                (float(r["directed_fraction"]), float(r["accuracy"])))
+        for method, points in sorted(series.items()):
+            points.sort()
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    marker="o", label=method)
+        ax.set_title(dataset)
+        ax.set_xlabel("fraction directed")
+    axes[0].set_ylabel("accuracy")
+    axes[-1].legend(fontsize=7)
+    fig.suptitle("Fig. 3: direction discovery accuracy")
+    save(fig, output_dir, "fig3.png")
+
+
+def plot_alpha_beta(results_dir, output_dir, filename, key, title, out_name):
+    path = os.path.join(results_dir, filename)
+    if not os.path.exists(path):
+        return
+    rows = read_csv(path)
+    datasets = sorted({r["dataset"] for r in rows})
+    fig, axes = plt.subplots(1, len(datasets), figsize=(4 * len(datasets), 3.2),
+                             sharey=True)
+    if len(datasets) == 1:
+        axes = [axes]
+    for ax, dataset in zip(axes, datasets):
+        series = defaultdict(list)
+        for r in rows:
+            if r["dataset"] != dataset:
+                continue
+            label = key(r)
+            series[label].append(
+                (float(r["directed_fraction"]), float(r["accuracy"])))
+        for label, points in sorted(series.items()):
+            points.sort()
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    marker="o", label=label)
+        ax.set_title(dataset)
+        ax.set_xlabel("fraction directed")
+    axes[0].set_ylabel("accuracy")
+    axes[-1].legend(fontsize=7)
+    fig.suptitle(title)
+    save(fig, output_dir, out_name)
+
+
+def plot_fig8(results_dir, output_dir):
+    path = os.path.join(results_dir, "fig8_link_prediction.csv")
+    if not os.path.exists(path):
+        return
+    rows = read_csv(path)
+    datasets = sorted({r["dataset"] for r in rows})
+    methods = []
+    for r in rows:
+        if r["adjacency"] not in methods:
+            methods.append(r["adjacency"])
+    fig, ax = plt.subplots(figsize=(7, 3.2))
+    width = 0.8 / len(methods)
+    for index, method in enumerate(methods):
+        values = []
+        for dataset in datasets:
+            match = [r for r in rows
+                     if r["dataset"] == dataset and r["adjacency"] == method]
+            values.append(float(match[0]["auc"]) if match else 0.0)
+        positions = [d + index * width for d in range(len(datasets))]
+        ax.bar(positions, values, width=width, label=method)
+    ax.set_xticks([d + 0.4 for d in range(len(datasets))])
+    ax.set_xticklabels(datasets)
+    ax.set_ylabel("AUC")
+    ax.set_ylim(0.5, None)
+    ax.legend(fontsize=7)
+    ax.set_title("Fig. 8: link prediction AUC by adjacency variant")
+    save(fig, output_dir, "fig8.png")
+
+
+def plot_fig9(results_dir, output_dir):
+    path = os.path.join(results_dir, "fig9_scalability.csv")
+    if not os.path.exists(path):
+        return
+    rows = read_csv(path)
+    ties = [int(r["ties"]) for r in rows]
+    seconds = [float(r["seconds"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(4.5, 3.2))
+    ax.plot(ties, seconds, marker="o")
+    ax.set_xlabel("number of ties")
+    ax.set_ylabel("training seconds")
+    ax.set_title("Fig. 9: DeepDirect scalability")
+    save(fig, output_dir, "fig9.png")
+
+
+def plot_fig7(results_dir, output_dir):
+    fig, axes = plt.subplots(1, 2, figsize=(9, 4))
+    found = False
+    for ax, (name, title) in zip(
+            axes, [("fig7_deepdirect_points.csv", "DeepDirect"),
+                   ("fig7_line_points.csv", "LINE")]):
+        path = os.path.join(results_dir, name)
+        if not os.path.exists(path):
+            continue
+        found = True
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))[1:]
+        for label, color in (("1", "tab:red"), ("0", "tab:blue")):
+            xs = [float(r[1]) for r in rows if r[0] == label]
+            ys = [float(r[2]) for r in rows if r[0] == label]
+            ax.scatter(xs, ys, s=6, c=color, label=f"direction {label}")
+        ax.set_title(title)
+        ax.legend(fontsize=7)
+    if found:
+        fig.suptitle("Fig. 7: t-SNE of tie embeddings (color = true direction)")
+        save(fig, output_dir, "fig7.png")
+    else:
+        plt.close(fig)
+
+
+def main():
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+    output_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_results"
+    os.makedirs(output_dir, exist_ok=True)
+    plot_fig3(results_dir, output_dir)
+    plot_alpha_beta(results_dir, output_dir, "fig4_label_effect.csv",
+                    lambda r: f"alpha={r['alpha']}",
+                    "Fig. 4: effect of the label loss", "fig4.png")
+    plot_alpha_beta(results_dir, output_dir, "fig5_pattern_effect.csv",
+                    lambda r: f"a={r['alpha']},b={r['beta']}",
+                    "Fig. 5: effect of the pattern loss", "fig5.png")
+    plot_fig7(results_dir, output_dir)
+    plot_fig8(results_dir, output_dir)
+    plot_fig9(results_dir, output_dir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,269 @@
+#include "core/deepdirect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/dataset.h"
+#include "util/alias_table.h"
+#include "util/random.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+namespace {
+
+// Per-undirected-arc pattern data, precomputed (Algorithm 1, lines 6–9).
+struct PatternInfo {
+  double degree_pseudo_label = 0.0;  ///< y^d (pattern-consistent form)
+  bool degree_active = false;        ///< y^d > T
+  /// Arc-index pairs (index(u,w), index(v,w)) for w ∈ t(u, v).
+  std::vector<std::pair<uint32_t, uint32_t>> triad_pairs;
+};
+
+}  // namespace
+
+std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
+    const MixedSocialNetwork& g, const DeepDirectConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  DD_CHECK_GT(config.dimensions, 0u);
+  DD_CHECK_GE(config.epochs, 0.0);
+
+  TieIndex index(g);
+  const size_t num_arcs = index.num_arcs();
+  const size_t l = config.dimensions;
+  std::unique_ptr<DeepDirectModel> model(
+      new DeepDirectModel(std::move(index), l));
+  const TieIndex& idx = model->index_;
+
+  util::Rng rng(config.seed);
+
+  // --- Preprocessing -------------------------------------------------------
+  // Pattern data for undirected arcs (lines 6–9 of Algorithm 1).
+  std::vector<uint32_t> pattern_slot(num_arcs, UINT32_MAX);
+  std::vector<PatternInfo> patterns;
+  for (size_t e = 0; e < num_arcs; ++e) {
+    if (idx.Class(e) != ArcClass::kUndirected) continue;
+    const auto [u, v] = idx.ArcAt(e);
+    PatternInfo info;
+    // Pattern-consistent Eq. 14 (see header note): ties point toward the
+    // higher-degree endpoint, so y^d_{uv} grows with deg(v).
+    const double deg_u = g.Deg(u);
+    const double deg_v = g.Deg(v);
+    const double denom = deg_u + deg_v;
+    info.degree_pseudo_label = denom > 0.0 ? deg_v / denom : 0.5;
+    info.degree_active =
+        info.degree_pseudo_label > config.degree_pattern_threshold;
+
+    // t(u, v): up to γ random common neighbors.
+    std::vector<NodeId> common = g.CommonNeighbors(u, v);
+    if (common.size() > config.max_common_neighbors) {
+      rng.Shuffle(common);
+      common.resize(config.max_common_neighbors);
+    }
+    info.triad_pairs.reserve(common.size());
+    for (NodeId w : common) {
+      info.triad_pairs.emplace_back(
+          static_cast<uint32_t>(idx.IndexOf(u, w)),
+          static_cast<uint32_t>(idx.IndexOf(v, w)));
+    }
+    pattern_slot[e] = static_cast<uint32_t>(patterns.size());
+    patterns.push_back(std::move(info));
+  }
+
+  // --- E-Step --------------------------------------------------------------
+  ml::Matrix& m = model->embeddings_;
+  ml::Matrix n(num_arcs, l);  // connection matrix N
+  const float init = 0.5f / static_cast<float>(l);
+  m.FillUniform(rng, -init, init);
+  // N starts at zero (skip-gram output-layer convention).
+
+  std::vector<double> w_prime(l, 0.0);
+  double b_prime = 0.0;
+
+  // Sampling distributions over closure arcs.
+  std::vector<double> pc_weights(num_arcs);
+  std::vector<double> pn_weights(num_arcs);
+  for (size_t e = 0; e < num_arcs; ++e) {
+    const double deg = idx.TieDegree(e);
+    pc_weights[e] = deg;  // P_c ∝ deg_tie
+    pn_weights[e] = config.uniform_negative_sampling
+                        ? 1.0
+                        : std::pow(deg + 1.0, 0.75);  // P_n ∝ deg_tie^{3/4}
+  }
+  // Degenerate but legal: a network where every destination is a leaf has
+  // no connected tie pairs; fall back to uniform source sampling.
+  double pc_total = 0.0;
+  for (double w : pc_weights) pc_total += w;
+  if (pc_total <= 0.0) std::fill(pc_weights.begin(), pc_weights.end(), 1.0);
+  const util::AliasTable source_table(pc_weights);
+  const util::AliasTable noise_table(pn_weights);
+
+  const uint64_t iterations = static_cast<uint64_t>(
+      config.epochs * static_cast<double>(idx.NumConnectedTiePairs()));
+
+  const bool track_loss = static_cast<bool>(config.progress);
+  double window_loss = 0.0;
+  uint64_t window_steps = 0;
+
+  std::vector<double> grad_m(l);
+  for (uint64_t step = 0; step < iterations; ++step) {
+    const double progress =
+        static_cast<double>(step) / static_cast<double>(iterations);
+    const double lr = config.initial_learning_rate *
+                      std::max(config.min_lr_fraction, 1.0 - progress);
+
+    // Line 13: sample a connected tie pair (e, e').
+    const size_t e = source_table.Sample(rng);
+    const size_t e_prime = idx.SampleConnectedTie(e, rng);
+    if (e_prime >= num_arcs) continue;  // leaf destination, no pair
+
+    auto m_e = m.Row(e);
+    std::fill(grad_m.begin(), grad_m.end(), 0.0);
+
+    double step_loss = 0.0;
+
+    // --- L_topo: positive pair + λ negatives (Eqs. 23–25).
+    {
+      auto n_pos = n.Row(e_prime);
+      const double score = ml::Dot(m_e, n_pos);
+      const double g_pos = ml::Sigmoid(score) - 1.0;
+      for (size_t k = 0; k < l; ++k) {
+        grad_m[k] += g_pos * static_cast<double>(n_pos[k]);
+      }
+      ml::Axpy(-lr * g_pos, m_e, n_pos);
+      if (track_loss) step_loss -= ml::LogSigmoid(score);
+    }
+    for (size_t neg = 0; neg < config.negative_samples; ++neg) {
+      const size_t f = noise_table.Sample(rng);
+      if (f == e_prime) continue;
+      auto n_neg = n.Row(f);
+      const double score = ml::Dot(m_e, n_neg);
+      const double g_neg = ml::Sigmoid(score);
+      for (size_t k = 0; k < l; ++k) {
+        grad_m[k] += g_neg * static_cast<double>(n_neg[k]);
+      }
+      ml::Axpy(-lr * g_neg, m_e, n_neg);
+      if (track_loss) step_loss -= ml::LogSigmoid(-score);
+    }
+
+    // --- Classifier losses: ∂L'/∂b' per Eq. 21, ramped in over the warmup
+    // window so the topology loss shapes the embedding first.
+    const double warmup_scale =
+        config.classifier_warmup_fraction <= 0.0
+            ? 1.0
+            : std::min(1.0, progress / config.classifier_warmup_fraction);
+    double g_b = 0.0;
+    const ArcClass arc_class = idx.Class(e);
+    const bool needs_prediction =
+        warmup_scale > 0.0 &&
+        (idx.IsLabeled(e) || arc_class == ArcClass::kUndirected);
+    if (needs_prediction) {
+      double score = b_prime;
+      for (size_t k = 0; k < l; ++k) {
+        score += w_prime[k] * static_cast<double>(m_e[k]);
+      }
+      const double prediction = ml::Sigmoid(score);
+
+      // Ablation hook: dividing by deg_tie(e) cancels the tie-degree
+      // weighting that P_c sampling otherwise realizes (Eq. 19). The
+      // warmup ramp multiplies in here as well.
+      const double degree_scale =
+          warmup_scale * (config.weight_by_tie_degree
+                              ? 1.0
+                              : 1.0 / std::max<double>(1.0, idx.TieDegree(e)));
+
+      if (idx.IsLabeled(e)) {
+        g_b += config.alpha * degree_scale * (prediction - idx.Label(e));
+      } else {
+        const PatternInfo& info = patterns[pattern_slot[e]];
+        if (info.degree_active) {
+          g_b += config.beta * degree_scale *
+                 (prediction - info.degree_pseudo_label);
+        }
+        if (!info.triad_pairs.empty()) {
+          // y^t from current predictions over t(u, v) (Eq. 15).
+          double y_t = 0.0;
+          for (const auto& [uw, vw] : info.triad_pairs) {
+            double score_uw = b_prime, score_vw = b_prime;
+            const auto m_uw = m.Row(uw);
+            const auto m_vw = m.Row(vw);
+            for (size_t k = 0; k < l; ++k) {
+              score_uw += w_prime[k] * static_cast<double>(m_uw[k]);
+              score_vw += w_prime[k] * static_cast<double>(m_vw[k]);
+            }
+            const double y_uw = ml::Sigmoid(score_uw);
+            const double y_vw = ml::Sigmoid(score_vw);
+            y_t += y_uw / std::max(y_uw + y_vw, 1e-12);
+          }
+          y_t /= static_cast<double>(info.triad_pairs.size());
+          g_b += config.beta * degree_scale * (prediction - y_t);
+        }
+      }
+
+      if (g_b != 0.0) {
+        // Eq. 23 (classifier part) and Eq. 22, plus L2 decay on w'.
+        for (size_t k = 0; k < l; ++k) {
+          grad_m[k] += g_b * w_prime[k];
+          w_prime[k] -= lr * (g_b * static_cast<double>(m_e[k]) +
+                              config.classifier_l2 * w_prime[k]);
+        }
+        b_prime -= lr * g_b;
+      }
+    }
+
+    // Line 15: apply the accumulated embedding gradient (with row decay).
+    for (size_t k = 0; k < l; ++k) {
+      m_e[k] -= static_cast<float>(
+          lr * (grad_m[k] +
+                config.embedding_l2 * static_cast<double>(m_e[k])));
+    }
+
+    if (track_loss) {
+      window_loss += step_loss;
+      ++window_steps;
+      if (window_steps >= config.report_every || step + 1 == iterations) {
+        config.progress(step + 1, iterations,
+                        window_loss / static_cast<double>(window_steps));
+        window_loss = 0.0;
+        window_steps = 0;
+      }
+    }
+  }
+
+  model->e_step_weights_ = w_prime;
+  model->e_step_bias_ = b_prime;
+
+  // --- D-Step (Sec. 4.5.2): warm-started L2 logistic regression on the
+  // embedding rows of labeled arcs.
+  ml::Dataset data(l);
+  std::vector<double> features(l);
+  for (size_t e = 0; e < num_arcs; ++e) {
+    if (!idx.IsLabeled(e)) continue;
+    const auto row = m.Row(e);
+    for (size_t k = 0; k < l; ++k) features[k] = row[k];
+    data.Add(features, idx.Label(e));
+  }
+  model->d_step_ = ml::LogisticRegression(w_prime, b_prime);
+  model->d_step_.Train(data, config.d_step);
+
+  if (config.d_step_head == DStepHead::kMlp) {
+    // Nonlinear head (Sec. 8 future work) on the same labeled rows.
+    model->mlp_head_.emplace(l, config.d_step_mlp.hidden_units,
+                             config.d_step_mlp.seed);
+    model->mlp_head_->Train(data, config.d_step_mlp);
+  }
+
+  return model;
+}
+
+double DeepDirectModel::Directionality(NodeId u, NodeId v) const {
+  const auto row = embeddings_.Row(index_.IndexOf(u, v));
+  std::vector<double> features(row.size());
+  for (size_t k = 0; k < row.size(); ++k) features[k] = row[k];
+  if (mlp_head_.has_value()) return mlp_head_->Predict(features);
+  return d_step_.Predict(features);
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,170 @@
+// DeepDirect: edge-based network embedding for tie direction learning
+// (Sec. 4 of the paper).
+//
+// E-Step: every closure arc e (see TieIndex) receives an embedding row m_e
+// in the matrix M and a connection row n_e in N, optimized by SGD over
+// sampled connected tie pairs against the joint loss
+//     L = L_topo + α·L_label + β·L_pattern        (Eq. 18)
+// with
+//   * L_topo    — skip-gram with negative sampling over connected tie pairs
+//                 (Eq. 10), positives sampled ∝ deg_tie (P_c) and negatives
+//                 ∝ deg_tie^{3/4} (P_n);
+//   * L_label   — cross-entropy of a jointly-trained logistic regression
+//                 (w', b') on labeled arcs, tie-degree weighted (Eq. 13,
+//                 realized by the P_c sampling, Eq. 19);
+//   * L_pattern — cross-entropy on undirected arcs against pseudo-labels
+//                 from the Degree Consistency Pattern (gated by threshold T)
+//                 and the Triad Status Consistency Pattern (Eq. 16).
+// Updates follow Eqs. 21–25 exactly.
+//
+// D-Step: a fresh L2-regularized logistic regression over the embedding
+// rows of labeled arcs, warm-started from (w', b') (Sec. 4.5.2), yields the
+// directionality function d(e) = σ(w·m_e + b) (Eq. 26).
+//
+// NOTE on Eq. 14: the paper prints y^d_{uv} = deg(u)/(deg(u)+deg(v)), which
+// contradicts both the Degree Consistency Pattern ("ties link from lower
+// degree to higher degree") and the status logic of Eq. 15. We implement
+// the pattern-consistent form y^d_{uv} = deg(v)/(deg(u)+deg(v)) and record
+// the deviation in DESIGN.md.
+
+#ifndef DEEPDIRECT_CORE_DEEPDIRECT_H_
+#define DEEPDIRECT_CORE_DEEPDIRECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <functional>
+#include <optional>
+
+#include "core/directionality.h"
+#include "core/tie_index.h"
+#include "graph/mixed_graph.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+#include "ml/mlp.h"
+
+namespace deepdirect::core {
+
+/// Functional form of the D-Step directionality head.
+enum class DStepHead {
+  kLogisticRegression = 0,  ///< Eq. 26, the paper's choice
+  kMlp = 1,                 ///< one-hidden-layer MLP (Sec. 8 future work)
+};
+
+/// Hyper-parameters of DeepDirect (paper defaults: l = 128, λ = 5, τ = 10;
+/// α and β grid-searched — 5 and 1 are the paper's strong settings).
+struct DeepDirectConfig {
+  size_t dimensions = 128;       ///< l, embedding width
+  size_t negative_samples = 5;   ///< λ
+  double alpha = 5.0;            ///< weight of L_label
+  double beta = 1.0;             ///< weight of L_pattern
+  double degree_pattern_threshold = 0.3;   ///< T in Eq. 16
+  size_t max_common_neighbors = 10;        ///< γ, size cap of t(u, v)
+  double epochs = 10.0;          ///< τ: SGD iterations = τ·|C(G)|
+  double initial_learning_rate = 0.05;
+  double min_lr_fraction = 0.01;  ///< linear decay floor
+  /// L2 decay on the E-Step classifier (w', b'), applied on classifier
+  /// steps. Keeps w' from dominating the embedding geometry when α is
+  /// large (the loss-explosion risk Sec. 6.2.2 warns about).
+  double classifier_l2 = 1e-3;
+  /// L2 decay on embedding rows (applied to the updated row each step).
+  double embedding_l2 = 1e-4;
+  /// Fraction of E-Step iterations over which the classifier losses
+  /// (α and β terms) ramp linearly from 0 to full strength. Letting the
+  /// topology loss shape the embedding first prevents the joint classifier
+  /// from co-adapting labeled-arc rows before their contexts exist — the
+  /// failure mode behind the "carefully increased α" caveat of Sec. 6.2.2.
+  double classifier_warmup_fraction = 0.5;
+  /// Ablation: when false, the classifier losses are de-weighted by
+  /// 1/deg_tie(e), cancelling the implicit Eq. 13/16 weighting.
+  bool weight_by_tie_degree = true;
+  /// Ablation: sample negatives uniformly instead of ∝ deg_tie^{3/4}.
+  bool uniform_negative_sampling = false;
+  uint64_t seed = 21;
+  /// D-Step logistic regression settings.
+  ml::LogisticRegressionConfig d_step = {
+      .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
+      .l2 = 1e-4, .seed = 23, .shuffle = true};
+  /// Which D-Step head realizes the directionality function. The logistic
+  /// regression is always trained (it provides the warm-started Eq. 26
+  /// head); selecting kMlp additionally trains a nonlinear head and routes
+  /// Directionality() through it — the paper's Sec. 8 extension.
+  DStepHead d_step_head = DStepHead::kLogisticRegression;
+  /// MLP head settings (used when d_step_head == kMlp).
+  ml::MlpConfig d_step_mlp = {.hidden_units = 32, .epochs = 30,
+                              .learning_rate = 0.05, .min_lr_fraction = 0.1,
+                              .l2 = 1e-4, .seed = 29};
+  /// Optional E-Step progress callback, invoked every `report_every` SGD
+  /// steps with (step, total_steps, mean L' over the window). Useful for
+  /// long trainings; leave empty for silence.
+  std::function<void(uint64_t step, uint64_t total, double mean_loss)>
+      progress = nullptr;
+  uint64_t report_every = 1000000;
+};
+
+/// A trained DeepDirect model: embedding matrix + directionality head.
+class DeepDirectModel : public DirectionalityModel {
+ public:
+  /// Runs preprocessing, E-Step and D-Step on `g` (Algorithm 1). The model
+  /// is self-contained; `g` may be destroyed afterwards. Requires at least
+  /// one directed tie (the TDL problem needs labeled data).
+  static std::unique_ptr<DeepDirectModel> Train(
+      const graph::MixedSocialNetwork& g, const DeepDirectConfig& config);
+
+  /// d(u, v) = σ(w·m_uv + b). The pair must host a tie of the training
+  /// network.
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return "DeepDirect"; }
+
+  /// The embedding matrix M (rows indexed by the TieIndex).
+  const ml::Matrix& embeddings() const { return embeddings_; }
+
+  /// The closure-arc index the embedding rows follow.
+  const TieIndex& index() const { return index_; }
+
+  /// Embedding row of the tie arc (u, v).
+  std::span<const float> TieEmbedding(graph::NodeId u,
+                                      graph::NodeId v) const {
+    return embeddings_.Row(index_.IndexOf(u, v));
+  }
+
+  /// The D-Step logistic regression (Eq. 26).
+  const ml::LogisticRegression& d_step_regression() const {
+    return d_step_;
+  }
+
+  /// E-Step classifier parameters (w', b'), exposed for tests.
+  const std::vector<double>& e_step_weights() const {
+    return e_step_weights_;
+  }
+  double e_step_bias() const { return e_step_bias_; }
+
+  /// Serializes the trained model (embedding matrix + heads) to `path` in
+  /// a self-describing binary format. The MLP head, when present, is not
+  /// serialized (FailedPrecondition). The tie index is not written: a model
+  /// is only meaningful with its training network, which Load() takes.
+  util::Status Save(const std::string& path) const;
+
+  /// Restores a model saved by Save(). `g` must be the training network
+  /// (validated by arc count); the tie index is rebuilt from it.
+  static util::Result<std::unique_ptr<DeepDirectModel>> Load(
+      const std::string& path, const graph::MixedSocialNetwork& g);
+
+ private:
+  DeepDirectModel(TieIndex index, size_t dimensions)
+      : index_(std::move(index)),
+        embeddings_(index_.num_arcs(), dimensions),
+        d_step_(dimensions) {}
+
+  TieIndex index_;
+  ml::Matrix embeddings_;
+  std::vector<double> e_step_weights_;
+  double e_step_bias_ = 0.0;
+  ml::LogisticRegression d_step_;
+  std::optional<ml::MlpClassifier> mlp_head_;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_DEEPDIRECT_H_

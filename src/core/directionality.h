@@ -1,0 +1,31 @@
+// DirectionalityModel: the common interface of every TDL solver.
+//
+// A trained model realizes the directionality function d : E → [0, 1] of
+// Definition 2 for the network it was trained on: Directionality(u, v) is
+// the modeled probability that the tie between u and v points u → v.
+
+#ifndef DEEPDIRECT_CORE_DIRECTIONALITY_H_
+#define DEEPDIRECT_CORE_DIRECTIONALITY_H_
+
+#include <string>
+
+#include "graph/types.h"
+
+namespace deepdirect::core {
+
+/// Abstract directionality function over a fixed training network.
+class DirectionalityModel {
+ public:
+  virtual ~DirectionalityModel() = default;
+
+  /// d(u, v): modeled probability the tie between u and v points u → v.
+  /// Both nodes must be endpoints of a tie in the training network.
+  virtual double Directionality(graph::NodeId u, graph::NodeId v) const = 0;
+
+  /// Short method name for reports ("DeepDirect", "HF", "LINE", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_DIRECTIONALITY_H_

@@ -1,0 +1,51 @@
+// GraRep directionality model: matrix-factorization node embeddings
+// (paper ref [32]) + edge operator + logistic regression.
+
+#ifndef DEEPDIRECT_CORE_GRAREP_MODEL_H_
+#define DEEPDIRECT_CORE_GRAREP_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/directionality.h"
+#include "embedding/edge_features.h"
+#include "embedding/grarep.h"
+#include "graph/mixed_graph.h"
+#include "ml/logistic_regression.h"
+
+namespace deepdirect::core {
+
+/// GraRep-model hyper-parameters.
+struct GraRepModelConfig {
+  embedding::GraRepConfig grarep;
+  embedding::EdgeOperator edge_operator =
+      embedding::EdgeOperator::kConcatenate;
+  ml::LogisticRegressionConfig regression = {
+      .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
+      .l2 = 1e-4, .seed = 83, .shuffle = true};
+};
+
+/// Trained GraRep + logistic-regression directionality model.
+class GraRepModel : public DirectionalityModel {
+ public:
+  static std::unique_ptr<GraRepModel> Train(
+      const graph::MixedSocialNetwork& g, const GraRepModelConfig& config);
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return "GraRep"; }
+
+ private:
+  GraRepModel(embedding::GraRepEmbedding embedding,
+              embedding::EdgeOperator op, size_t feature_dims)
+      : embedding_(std::move(embedding)),
+        edge_operator_(op),
+        regression_(feature_dims) {}
+
+  embedding::GraRepEmbedding embedding_;
+  embedding::EdgeOperator edge_operator_;
+  ml::LogisticRegression regression_;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_GRAREP_MODEL_H_

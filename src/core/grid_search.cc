@@ -1,0 +1,50 @@
+#include "core/grid_search.h"
+
+#include "core/applications.h"
+#include "graph/algorithms.h"
+#include "util/random.h"
+
+namespace deepdirect::core {
+
+GridSearchResult GridSearchDeepDirect(const graph::MixedSocialNetwork& g,
+                                      const GridSearchConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  DD_CHECK(!config.alphas.empty());
+  DD_CHECK(!config.betas.empty());
+  DD_CHECK_GT(config.folds, 0u);
+  DD_CHECK_GT(config.validation_fraction, 0.0);
+  DD_CHECK_LT(config.validation_fraction, 1.0);
+
+  // Pre-draw the folds so every cell sees identical splits.
+  std::vector<graph::HiddenDirectionSplit> folds;
+  folds.reserve(config.folds);
+  for (size_t fold = 0; fold < config.folds; ++fold) {
+    util::Rng rng(config.seed + fold * 7919);
+    folds.push_back(
+        graph::HideDirections(g, 1.0 - config.validation_fraction, rng));
+  }
+
+  GridSearchResult result;
+  result.best.validation_accuracy = -1.0;
+  for (double alpha : config.alphas) {
+    for (double beta : config.betas) {
+      DeepDirectConfig cell_config = config.base;
+      cell_config.alpha = alpha;
+      cell_config.beta = beta;
+      double total = 0.0;
+      for (const auto& fold : folds) {
+        const auto model =
+            DeepDirectModel::Train(fold.network, cell_config);
+        total += DirectionDiscoveryAccuracy(fold, *model);
+      }
+      GridCell cell{alpha, beta, total / static_cast<double>(folds.size())};
+      if (cell.validation_accuracy > result.best.validation_accuracy) {
+        result.best = cell;
+      }
+      result.cells.push_back(cell);
+    }
+  }
+  return result;
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,56 @@
+// Cross-validated grid search for DeepDirect's loss weights.
+//
+// Sec. 6.1: "As for the hyper parameters α and β ... we use the grid
+// search with cross-validation to determine the optimal values." This
+// module implements that protocol: a fraction of the network's directed
+// ties is held out as a validation fold (their directions hidden, exactly
+// the Sec. 6.2 evaluation transform), DeepDirect is trained per (α, β)
+// cell on the remainder, and the cell with the best validation
+// direction-discovery accuracy wins. Multiple folds average the score.
+
+#ifndef DEEPDIRECT_CORE_GRID_SEARCH_H_
+#define DEEPDIRECT_CORE_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "core/deepdirect.h"
+#include "graph/mixed_graph.h"
+
+namespace deepdirect::core {
+
+/// Grid and protocol parameters.
+struct GridSearchConfig {
+  /// Candidate values for α (weight of L_label).
+  std::vector<double> alphas{0.0, 0.1, 1.0, 5.0};
+  /// Candidate values for β (weight of L_pattern).
+  std::vector<double> betas{0.0, 0.1, 1.0};
+  /// Fraction of directed ties hidden as the validation fold.
+  double validation_fraction = 0.2;
+  /// Number of independent folds averaged per cell.
+  size_t folds = 1;
+  uint64_t seed = 71;
+  /// Everything except alpha/beta for the trained models.
+  DeepDirectConfig base;
+};
+
+/// One evaluated grid cell.
+struct GridCell {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double validation_accuracy = 0.0;
+};
+
+/// Full grid-search outcome.
+struct GridSearchResult {
+  GridCell best;
+  std::vector<GridCell> cells;  ///< row-major over (alphas × betas)
+};
+
+/// Runs the search on `g` (must contain directed ties). Deterministic for
+/// a fixed config.
+GridSearchResult GridSearchDeepDirect(const graph::MixedSocialNetwork& g,
+                                      const GridSearchConfig& config);
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_GRID_SEARCH_H_

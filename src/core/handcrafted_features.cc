@@ -1,0 +1,58 @@
+#include "core/handcrafted_features.h"
+
+#include "graph/centrality.h"
+#include "graph/triads.h"
+#include "util/random.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+HandcraftedFeatureExtractor::HandcraftedFeatureExtractor(
+    const MixedSocialNetwork& g, const HandcraftedFeatureConfig& config)
+    : graph_(g) {
+  const size_t n = g.num_nodes();
+  deg_out_.resize(n);
+  deg_in_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    deg_out_[u] = g.DegOut(u);
+    deg_in_[u] = g.DegIn(u);
+  }
+  if (config.exact_centrality) {
+    closeness_ = graph::ClosenessCentralityExact(g);
+    betweenness_ = graph::BetweennessCentralityExact(g);
+  } else {
+    util::Rng rng(config.seed);
+    closeness_ =
+        graph::ClosenessCentralitySampled(g, config.centrality_pivots, rng);
+    betweenness_ =
+        graph::BetweennessCentralitySampled(g, config.centrality_pivots, rng);
+  }
+}
+
+void HandcraftedFeatureExtractor::Extract(NodeId u, NodeId v,
+                                          std::span<double> out) const {
+  DD_CHECK_EQ(out.size(), kNumHandcraftedFeatures);
+  out[0] = deg_out_[u];
+  out[1] = deg_out_[v];
+  out[2] = deg_in_[u];
+  out[3] = deg_in_[v];
+  out[4] = closeness_[u];
+  out[5] = closeness_[v];
+  out[6] = betweenness_[u];
+  out[7] = betweenness_[v];
+  const auto triads = graph::DirectedTriadCounts(graph_, u, v);
+  for (size_t i = 0; i < graph::kNumTriadTypes; ++i) {
+    out[8 + i] = static_cast<double>(triads[i]);
+  }
+}
+
+std::vector<double> HandcraftedFeatureExtractor::Extract(NodeId u,
+                                                         NodeId v) const {
+  std::vector<double> out(kNumHandcraftedFeatures);
+  Extract(u, v, out);
+  return out;
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,63 @@
+// Hand-crafted feature extraction for social ties (Sec. 3.1).
+//
+// For a tie (u, v) the feature vector x_uv concatenates:
+//   [0..3]   degree features   deg_out(u), deg_out(v), deg_in(u), deg_in(v)
+//   [4..7]   centrality features cc(u), cc(v), bc(u), bc(v)
+//   [8..23]  directed triad counts ee_1(u,v) … ee_16(u,v)
+// The direction of (u, v) itself is never consulted (it may be unknown);
+// x_uv != x_vu because the per-endpoint features swap and the triad types
+// transpose.
+
+#ifndef DEEPDIRECT_CORE_HANDCRAFTED_FEATURES_H_
+#define DEEPDIRECT_CORE_HANDCRAFTED_FEATURES_H_
+
+#include <vector>
+
+#include "graph/mixed_graph.h"
+
+namespace deepdirect::core {
+
+/// Total hand-crafted feature dimensionality (4 + 4 + 16).
+inline constexpr size_t kNumHandcraftedFeatures = 24;
+
+/// Configuration of the feature extractor.
+struct HandcraftedFeatureConfig {
+  /// Use exact centralities (O(V·E)) instead of pivot-sampled estimates.
+  bool exact_centrality = false;
+  /// Number of BFS pivots for sampled centralities.
+  size_t centrality_pivots = 64;
+  uint64_t seed = 11;
+};
+
+/// Precomputes node-level statistics once, then serves per-tie feature
+/// vectors in O(common neighbors · log degree).
+class HandcraftedFeatureExtractor {
+ public:
+  /// Precomputes degrees and centralities for `g`. The extractor keeps a
+  /// reference to `g`, which must outlive it.
+  HandcraftedFeatureExtractor(const graph::MixedSocialNetwork& g,
+                              const HandcraftedFeatureConfig& config);
+
+  /// Fills `out` (kNumHandcraftedFeatures entries) with x_uv.
+  void Extract(graph::NodeId u, graph::NodeId v, std::span<double> out) const;
+
+  /// Convenience allocation variant.
+  std::vector<double> Extract(graph::NodeId u, graph::NodeId v) const;
+
+  /// Precomputed closeness centrality per node.
+  const std::vector<double>& closeness() const { return closeness_; }
+
+  /// Precomputed betweenness centrality per node.
+  const std::vector<double>& betweenness() const { return betweenness_; }
+
+ private:
+  const graph::MixedSocialNetwork& graph_;
+  std::vector<double> deg_out_;
+  std::vector<double> deg_in_;
+  std::vector<double> closeness_;
+  std::vector<double> betweenness_;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_HANDCRAFTED_FEATURES_H_

@@ -1,0 +1,37 @@
+#include "core/hf_model.h"
+
+#include "ml/dataset.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+std::unique_ptr<HfModel> HfModel::Train(const MixedSocialNetwork& g,
+                                        const HfConfig& config) {
+  // unique_ptr via `new`: the constructor is private.
+  std::unique_ptr<HfModel> model(new HfModel(g, config));
+
+  ml::Dataset data(kNumHandcraftedFeatures);
+  std::vector<double> features(kNumHandcraftedFeatures);
+  for (graph::ArcId id : g.directed_arcs()) {
+    const graph::Arc& a = g.arc(id);
+    model->extractor_.Extract(a.src, a.dst, features);
+    data.Add(features, 1.0);
+    model->extractor_.Extract(a.dst, a.src, features);
+    data.Add(features, 0.0);
+  }
+
+  model->scaler_.Fit(data);
+  model->scaler_.Transform(data);
+  model->regression_.Train(data, config.regression);
+  return model;
+}
+
+double HfModel::Directionality(NodeId u, NodeId v) const {
+  std::vector<double> features = extractor_.Extract(u, v);
+  scaler_.TransformRow(features);
+  return regression_.Predict(features);
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,52 @@
+// HF: the hand-crafted-feature directionality model (Sec. 3).
+//
+// Training data per directed tie (u, v) ∈ E_d: one instance with features
+// x_uv and label 1, one with x_vu and label 0 (Sec. 3.2). Features are
+// standardized, then a logistic regression d(e) = σ(w·x_e + b) is fit.
+
+#ifndef DEEPDIRECT_CORE_HF_MODEL_H_
+#define DEEPDIRECT_CORE_HF_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/directionality.h"
+#include "core/handcrafted_features.h"
+#include "ml/logistic_regression.h"
+#include "ml/scaler.h"
+
+namespace deepdirect::core {
+
+/// HF training hyper-parameters.
+struct HfConfig {
+  HandcraftedFeatureConfig features;
+  ml::LogisticRegressionConfig regression;
+};
+
+/// The trained HF directionality model.
+class HfModel : public DirectionalityModel {
+ public:
+  /// Trains HF on the labeled (directed) ties of `g`. The model keeps a
+  /// reference to `g`, which must outlive it.
+  static std::unique_ptr<HfModel> Train(const graph::MixedSocialNetwork& g,
+                                        const HfConfig& config);
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return "HF"; }
+
+  /// The fitted logistic regression (exposed for tests).
+  const ml::LogisticRegression& regression() const { return regression_; }
+
+ private:
+  HfModel(const graph::MixedSocialNetwork& g, const HfConfig& config)
+      : extractor_(g, config.features),
+        regression_(kNumHandcraftedFeatures) {}
+
+  HandcraftedFeatureExtractor extractor_;
+  ml::StandardScaler scaler_;
+  ml::LogisticRegression regression_;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_HF_MODEL_H_

@@ -1,0 +1,55 @@
+#include "core/line_graph_model.h"
+
+#include "ml/dataset.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+std::unique_ptr<LineGraphModel> LineGraphModel::Train(
+    const MixedSocialNetwork& g, const LineGraphModelConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  TieIndex index(g);
+
+  // Materialize the line digraph over the closure arcs (this is the memory
+  // blow-up of the approach: |C(G)| edges).
+  std::vector<std::pair<uint32_t, uint32_t>> line_edges;
+  line_edges.reserve(index.NumConnectedTiePairs());
+  for (size_t e = 0; e < index.num_arcs(); ++e) {
+    const auto [u, v] = index.ArcAt(e);
+    for (NodeId w : index.Neighbors(v)) {
+      if (w == u) continue;
+      line_edges.emplace_back(static_cast<uint32_t>(e),
+                              static_cast<uint32_t>(index.IndexOf(v, w)));
+    }
+  }
+  DD_CHECK_EQ(line_edges.size(), index.NumConnectedTiePairs());
+
+  ml::Matrix vectors = embedding::TrainEdgeListEmbedding(
+      index.num_arcs(), line_edges, config.embedding);
+
+  std::unique_ptr<LineGraphModel> model(
+      new LineGraphModel(std::move(index), std::move(vectors)));
+  const TieIndex& idx = model->index_;
+
+  ml::Dataset data(model->vectors_.cols());
+  std::vector<double> features(model->vectors_.cols());
+  for (size_t e = 0; e < idx.num_arcs(); ++e) {
+    if (!idx.IsLabeled(e)) continue;
+    const auto row = model->vectors_.Row(e);
+    for (size_t k = 0; k < row.size(); ++k) features[k] = row[k];
+    data.Add(features, idx.Label(e));
+  }
+  model->regression_.Train(data, config.regression);
+  return model;
+}
+
+double LineGraphModel::Directionality(NodeId u, NodeId v) const {
+  const auto row = vectors_.Row(index_.IndexOf(u, v));
+  std::vector<double> features(row.size());
+  for (size_t k = 0; k < row.size(); ++k) features[k] = row[k];
+  return regression_.Predict(features);
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,58 @@
+// The line-graph route to edge embeddings — the second indirect approach
+// Sec. 4 discusses and rejects: convert the (closure) network to its line
+// digraph, run a node-based embedding on it, and treat each line-graph
+// node's vector as the tie embedding. Implemented so the paper's cost
+// argument (|V_line| = |E|, |E_line| = Σ d_in·d_out blow-up) and quality
+// comparison can be made empirically (see bench_ablations /
+// bench_line_graph rows).
+
+#ifndef DEEPDIRECT_CORE_LINE_GRAPH_MODEL_H_
+#define DEEPDIRECT_CORE_LINE_GRAPH_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/directionality.h"
+#include "core/tie_index.h"
+#include "embedding/edge_list_embedding.h"
+#include "graph/mixed_graph.h"
+#include "ml/logistic_regression.h"
+
+namespace deepdirect::core {
+
+/// Line-graph-model hyper-parameters.
+struct LineGraphModelConfig {
+  embedding::EdgeListEmbeddingConfig embedding;
+  ml::LogisticRegressionConfig regression = {
+      .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
+      .l2 = 1e-4, .seed = 61, .shuffle = true};
+};
+
+/// Tie embeddings via LINE-on-the-line-graph + logistic regression.
+class LineGraphModel : public DirectionalityModel {
+ public:
+  static std::unique_ptr<LineGraphModel> Train(
+      const graph::MixedSocialNetwork& g, const LineGraphModelConfig& config);
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return "LINE-linegraph"; }
+
+  /// Size of the materialized line digraph (the blow-up the paper warns
+  /// about).
+  size_t line_graph_nodes() const { return index_.num_arcs(); }
+  uint64_t line_graph_edges() const { return index_.NumConnectedTiePairs(); }
+
+ private:
+  LineGraphModel(TieIndex index, ml::Matrix vectors)
+      : index_(std::move(index)),
+        vectors_(std::move(vectors)),
+        regression_(vectors_.cols()) {}
+
+  TieIndex index_;
+  ml::Matrix vectors_;  // one row per closure arc
+  ml::LogisticRegression regression_;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_LINE_GRAPH_MODEL_H_

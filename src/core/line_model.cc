@@ -1,0 +1,47 @@
+#include "core/line_model.h"
+
+#include "ml/dataset.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+std::unique_ptr<LineModel> LineModel::Train(const MixedSocialNetwork& g,
+                                            const LineModelConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  embedding::LineEmbedding line =
+      embedding::LineEmbedding::Train(g, config.line);
+  const size_t feature_dims =
+      embedding::EdgeFeatureDims(config.edge_operator, line.dimensions());
+  std::unique_ptr<LineModel> model(
+      new LineModel(std::move(line), config.edge_operator, feature_dims));
+
+  ml::Dataset data(feature_dims);
+  std::vector<double> features(feature_dims);
+  for (graph::ArcId id : g.directed_arcs()) {
+    const graph::Arc& a = g.arc(id);
+    model->TieFeatures(a.src, a.dst, features);
+    data.Add(features, 1.0);
+    model->TieFeatures(a.dst, a.src, features);
+    data.Add(features, 0.0);
+  }
+  model->regression_.Train(data, config.regression);
+  return model;
+}
+
+void LineModel::TieFeatures(NodeId u, NodeId v, std::span<double> out) const {
+  const size_t d = line_.dimensions();
+  std::vector<double> src(d), dst(d);
+  line_.NodeVector(u, src);
+  line_.NodeVector(v, dst);
+  embedding::ComposeEdgeFeatures(edge_operator_, src, dst, out);
+}
+
+double LineModel::Directionality(NodeId u, NodeId v) const {
+  std::vector<double> features(tie_feature_dims());
+  TieFeatures(u, v, features);
+  return regression_.Predict(features);
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,135 @@
+// Binary serialization of trained DeepDirect models.
+//
+// Layout (little-endian, as written by the host):
+//   magic   "DDM1"                      (4 bytes)
+//   u64     num_arcs                    (must match the network's closure)
+//   u64     arc_hash                    (FNV-1a over the closure arc list)
+//   u64     dimensions
+//   f32[num_arcs * dimensions]          embedding matrix M, row-major
+//   f64[dimensions] + f64               D-Step weights w and bias b
+//   f64[dimensions] + f64               E-Step weights w' and bias b'
+
+#include <cstring>
+#include <fstream>
+
+#include "core/deepdirect.h"
+
+namespace deepdirect::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'D', 'M', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+// FNV-1a over the closure arc endpoints: detects "same size, different
+// network" mismatches at load time.
+uint64_t HashIndex(const TieIndex& index) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t e = 0; e < index.num_arcs(); ++e) {
+    const auto [u, v] = index.ArcAt(e);
+    for (uint32_t word : {static_cast<uint32_t>(u),
+                          static_cast<uint32_t>(v)}) {
+      hash ^= word;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+util::Status DeepDirectModel::Save(const std::string& path) const {
+  if (mlp_head_.has_value()) {
+    return util::Status::FailedPrecondition(
+        "models with an MLP D-Step head are not serializable");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return util::Status::IOError("cannot open for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint64_t>(out, embeddings_.rows());
+  WritePod<uint64_t>(out, HashIndex(index_));
+  WritePod<uint64_t>(out, embeddings_.cols());
+  out.write(reinterpret_cast<const char*>(embeddings_.data().data()),
+            static_cast<std::streamsize>(embeddings_.data().size() *
+                                         sizeof(float)));
+  for (double w : d_step_.weights()) WritePod(out, w);
+  WritePod(out, d_step_.bias());
+  for (double w : e_step_weights_) WritePod(out, w);
+  WritePod(out, e_step_bias_);
+  out.flush();
+  if (!out.good()) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<std::unique_ptr<DeepDirectModel>> DeepDirectModel::Load(
+    const std::string& path, const graph::MixedSocialNetwork& g) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return util::Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("not a DeepDirect model file: " +
+                                         path);
+  }
+  uint64_t num_arcs = 0, arc_hash = 0, dimensions = 0;
+  if (!ReadPod(in, &num_arcs) || !ReadPod(in, &arc_hash) ||
+      !ReadPod(in, &dimensions)) {
+    return util::Status::InvalidArgument("truncated model header: " + path);
+  }
+
+  TieIndex index(g);
+  if (index.num_arcs() != num_arcs || HashIndex(index) != arc_hash) {
+    return util::Status::InvalidArgument(
+        "network mismatch: the model was trained on a different network "
+        "(closure arcs: " + std::to_string(num_arcs) + " vs " +
+        std::to_string(index.num_arcs()) + ")");
+  }
+
+  std::unique_ptr<DeepDirectModel> model(
+      new DeepDirectModel(std::move(index), dimensions));
+  auto& data = model->embeddings_.data();
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in.good()) {
+    return util::Status::InvalidArgument("truncated embedding matrix: " +
+                                         path);
+  }
+  std::vector<double> d_weights(dimensions);
+  double d_bias = 0.0;
+  for (double& w : d_weights) {
+    if (!ReadPod(in, &w)) {
+      return util::Status::InvalidArgument("truncated D-Step head: " + path);
+    }
+  }
+  if (!ReadPod(in, &d_bias)) {
+    return util::Status::InvalidArgument("truncated D-Step head: " + path);
+  }
+  model->d_step_ = ml::LogisticRegression(std::move(d_weights), d_bias);
+
+  model->e_step_weights_.resize(dimensions);
+  for (double& w : model->e_step_weights_) {
+    if (!ReadPod(in, &w)) {
+      return util::Status::InvalidArgument("truncated E-Step head: " + path);
+    }
+  }
+  if (!ReadPod(in, &model->e_step_bias_)) {
+    return util::Status::InvalidArgument("truncated E-Step head: " + path);
+  }
+  return model;
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,69 @@
+#include "core/models.h"
+
+namespace deepdirect::core {
+
+std::vector<Method> AllMethods() {
+  return {Method::kLine, Method::kHf, Method::kDeepDirect,
+          Method::kRedirectNsm, Method::kRedirectTsm};
+}
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kLine:
+      return "LINE";
+    case Method::kHf:
+      return "HF";
+    case Method::kDeepDirect:
+      return "DeepDirect";
+    case Method::kRedirectNsm:
+      return "ReDirect-N/sm";
+    case Method::kRedirectTsm:
+      return "ReDirect-T/sm";
+  }
+  return "Unknown";
+}
+
+MethodConfigs MethodConfigs::PaperDefaults() {
+  MethodConfigs configs;
+  configs.deepdirect.dimensions = 128;
+  configs.deepdirect.negative_samples = 5;
+  configs.deepdirect.epochs = 10.0;
+  // The paper gives LINE half of DeepDirect's dimension so the concatenated
+  // tie vector matches DeepDirect's l (Sec. 6.1).
+  configs.line.line.dimensions = 64;  // 32 per proximity order
+  configs.redirect_n.dimensions = 40;
+  return configs;
+}
+
+MethodConfigs MethodConfigs::FastDefaults() {
+  MethodConfigs configs;
+  configs.deepdirect.dimensions = 64;
+  configs.deepdirect.negative_samples = 5;
+  configs.deepdirect.epochs = 5.0;
+  configs.line.line.dimensions = 32;  // half of DeepDirect's l, as in paper
+  configs.line.line.samples_per_arc = 30;
+  configs.redirect_n.dimensions = 24;
+  configs.redirect_n.epochs = 40;
+  return configs;
+}
+
+std::unique_ptr<DirectionalityModel> TrainMethod(
+    const graph::MixedSocialNetwork& g, Method method,
+    const MethodConfigs& configs) {
+  switch (method) {
+    case Method::kLine:
+      return LineModel::Train(g, configs.line);
+    case Method::kHf:
+      return HfModel::Train(g, configs.hf);
+    case Method::kDeepDirect:
+      return DeepDirectModel::Train(g, configs.deepdirect);
+    case Method::kRedirectNsm:
+      return RedirectNModel::Train(g, configs.redirect_n);
+    case Method::kRedirectTsm:
+      return RedirectTModel::Train(g, configs.redirect_t);
+  }
+  DD_CHECK_MSG(false, "unknown method");
+  return nullptr;
+}
+
+}  // namespace deepdirect::core

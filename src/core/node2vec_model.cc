@@ -1,0 +1,49 @@
+#include "core/node2vec_model.h"
+
+#include "ml/dataset.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+std::unique_ptr<Node2vecModel> Node2vecModel::Train(
+    const MixedSocialNetwork& g, const Node2vecModelConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  embedding::Node2vecEmbedding node_embedding =
+      embedding::Node2vecEmbedding::Train(g, config.node2vec);
+  const size_t feature_dims = embedding::EdgeFeatureDims(
+      config.edge_operator, node_embedding.dimensions());
+  std::unique_ptr<Node2vecModel> model(
+      new Node2vecModel(std::move(node_embedding), config.edge_operator,
+                        feature_dims, config.display_name));
+
+  const size_t node_dims = model->embedding_.dimensions();
+  ml::Dataset data(feature_dims);
+  std::vector<double> src(node_dims), dst(node_dims), features(feature_dims);
+  auto add_instance = [&](NodeId u, NodeId v, double label) {
+    model->embedding_.NodeVectorAsDouble(u, src);
+    model->embedding_.NodeVectorAsDouble(v, dst);
+    embedding::ComposeEdgeFeatures(config.edge_operator, src, dst, features);
+    data.Add(features, label);
+  };
+  for (graph::ArcId id : g.directed_arcs()) {
+    const graph::Arc& arc = g.arc(id);
+    add_instance(arc.src, arc.dst, 1.0);
+    add_instance(arc.dst, arc.src, 0.0);
+  }
+  model->regression_.Train(data, config.regression);
+  return model;
+}
+
+double Node2vecModel::Directionality(NodeId u, NodeId v) const {
+  const size_t node_dims = embedding_.dimensions();
+  std::vector<double> src(node_dims), dst(node_dims);
+  std::vector<double> features(tie_feature_dims());
+  embedding_.NodeVectorAsDouble(u, src);
+  embedding_.NodeVectorAsDouble(v, dst);
+  embedding::ComposeEdgeFeatures(edge_operator_, src, dst, features);
+  return regression_.Predict(features);
+}
+
+}  // namespace deepdirect::core

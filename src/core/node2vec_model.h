@@ -1,0 +1,63 @@
+// node2vec / DeepWalk directionality model: an additional node-embedding
+// baseline beyond the paper's LINE (both methods are cited in Sec. 7 as
+// the random-walk branch). Tie features come from an edge operator over
+// the endpoint vectors, classified by logistic regression on labeled ties.
+
+#ifndef DEEPDIRECT_CORE_NODE2VEC_MODEL_H_
+#define DEEPDIRECT_CORE_NODE2VEC_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/directionality.h"
+#include "embedding/edge_features.h"
+#include "embedding/node2vec.h"
+#include "graph/mixed_graph.h"
+#include "ml/logistic_regression.h"
+
+namespace deepdirect::core {
+
+/// node2vec-model hyper-parameters.
+struct Node2vecModelConfig {
+  embedding::Node2vecConfig node2vec;
+  embedding::EdgeOperator edge_operator =
+      embedding::EdgeOperator::kConcatenate;
+  ml::LogisticRegressionConfig regression = {
+      .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
+      .l2 = 1e-4, .seed = 59, .shuffle = true};
+  /// Report name: "node2vec" or "DeepWalk" (for the p=q=1 preset).
+  std::string display_name = "node2vec";
+};
+
+/// Trained node2vec + logistic-regression directionality model.
+class Node2vecModel : public DirectionalityModel {
+ public:
+  static std::unique_ptr<Node2vecModel> Train(
+      const graph::MixedSocialNetwork& g, const Node2vecModelConfig& config);
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return display_name_; }
+
+  size_t tie_feature_dims() const {
+    return embedding::EdgeFeatureDims(edge_operator_,
+                                      embedding_.dimensions());
+  }
+
+ private:
+  Node2vecModel(embedding::Node2vecEmbedding embedding,
+                embedding::EdgeOperator op, size_t feature_dims,
+                std::string display_name)
+      : embedding_(std::move(embedding)),
+        edge_operator_(op),
+        regression_(feature_dims),
+        display_name_(std::move(display_name)) {}
+
+  embedding::Node2vecEmbedding embedding_;
+  embedding::EdgeOperator edge_operator_;
+  ml::LogisticRegression regression_;
+  std::string display_name_;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_NODE2VEC_MODEL_H_

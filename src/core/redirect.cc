@@ -1,0 +1,201 @@
+#include "core/redirect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+namespace {
+
+// Pattern-consistent degree pseudo-label (see the Eq. 14 note in
+// deepdirect.h): probability the tie (u, v) points toward the
+// higher-degree endpoint v.
+double DegreePseudoLabel(const MixedSocialNetwork& g, NodeId u, NodeId v) {
+  const double deg_u = g.Deg(u);
+  const double deg_v = g.Deg(v);
+  const double denom = deg_u + deg_v;
+  return denom > 0.0 ? deg_v / denom : 0.5;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// ReDirect-N/sm
+// --------------------------------------------------------------------------
+
+std::unique_ptr<RedirectNModel> RedirectNModel::Train(
+    const MixedSocialNetwork& g, const RedirectNConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  std::unique_ptr<RedirectNModel> model(
+      new RedirectNModel(g.num_nodes(), config.dimensions));
+
+  util::Rng rng(config.seed);
+  const float init = 0.5f / static_cast<float>(config.dimensions);
+  model->h_.FillUniform(rng, -init, init);
+  model->h_prime_.FillUniform(rng, -init, init);
+
+  TieIndex index(g);
+  const size_t num_arcs = index.num_arcs();
+
+  // Static pseudo-labels for unlabeled arcs (degree pattern); bidirectional
+  // arcs are skipped entirely (no direction to learn).
+  std::vector<double> target(num_arcs, -1.0);
+  std::vector<double> weight(num_arcs, 0.0);
+  for (size_t e = 0; e < num_arcs; ++e) {
+    const auto [u, v] = index.ArcAt(e);
+    if (index.IsLabeled(e)) {
+      target[e] = index.Label(e);
+      weight[e] = 1.0;
+    } else {
+      // Undirected and bidirectional arcs are both unlabeled; the degree
+      // pattern supplies their pseudo-target (for bidirectional arcs this
+      // estimates the dominant direction — the quantification use case).
+      target[e] = DegreePseudoLabel(g, u, v);
+      weight[e] = config.pattern_weight;
+    }
+  }
+
+  std::vector<size_t> order(num_arcs);
+  std::iota(order.begin(), order.end(), 0);
+
+  const size_t l = config.dimensions;
+  const uint64_t total_steps =
+      static_cast<uint64_t>(config.epochs) * num_arcs;
+  uint64_t step = 0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t e : order) {
+      const double progress =
+          static_cast<double>(step) / static_cast<double>(total_steps);
+      const double lr =
+          config.learning_rate *
+          (1.0 - (1.0 - config.min_lr_fraction) * progress);
+      ++step;
+      if (weight[e] == 0.0) continue;
+
+      const auto [u, v] = index.ArcAt(e);
+      auto hu = model->h_.Row(u);
+      auto hv = model->h_prime_.Row(v);
+      const double prediction = ml::Sigmoid(ml::Dot(hu, hv));
+      const double gradient = weight[e] * (prediction - target[e]);
+      for (size_t k = 0; k < l; ++k) {
+        const double hu_k = hu[k];
+        const double hv_k = hv[k];
+        hu[k] -= static_cast<float>(lr * (gradient * hv_k + config.l2 * hu_k));
+        hv[k] -= static_cast<float>(lr * (gradient * hu_k + config.l2 * hv_k));
+      }
+    }
+  }
+  return model;
+}
+
+double RedirectNModel::Directionality(NodeId u, NodeId v) const {
+  return ml::Sigmoid(ml::Dot(h_.Row(u), h_prime_.Row(v)));
+}
+
+// --------------------------------------------------------------------------
+// ReDirect-T/sm
+// --------------------------------------------------------------------------
+
+std::unique_ptr<RedirectTModel> RedirectTModel::Train(
+    const MixedSocialNetwork& g, const RedirectTConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  TieIndex index(g);
+  std::unique_ptr<RedirectTModel> model(new RedirectTModel(std::move(index)));
+  const TieIndex& idx = model->index_;
+  std::vector<double>& x = model->values_;
+  const size_t num_arcs = idx.num_arcs();
+
+  util::Rng rng(config.seed);
+
+  // Precompute the (capped) common-neighbor arc pairs per unlabeled arc.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> triads(num_arcs);
+  std::vector<double> degree_prior(num_arcs, 0.5);
+  std::vector<uint8_t> is_free(num_arcs, 0);
+  for (size_t e = 0; e < num_arcs; ++e) {
+    const auto [u, v] = idx.ArcAt(e);
+    if (idx.IsLabeled(e)) {
+      x[e] = idx.Label(e);
+      continue;
+    }
+    // Undirected and bidirectional arcs both propagate freely — for
+    // bidirectional ties the converged value quantifies the dominant
+    // direction (Sec. 5.2).
+    is_free[e] = 1;
+    degree_prior[e] = DegreePseudoLabel(g, u, v);
+    x[e] = degree_prior[e];
+    std::vector<NodeId> common = g.CommonNeighbors(u, v);
+    if (common.size() > config.max_common_neighbors) {
+      rng.Shuffle(common);
+      common.resize(config.max_common_neighbors);
+    }
+    triads[e].reserve(common.size());
+    for (NodeId w : common) {
+      triads[e].emplace_back(static_cast<uint32_t>(idx.IndexOf(u, w)),
+                             static_cast<uint32_t>(idx.IndexOf(v, w)));
+    }
+  }
+
+  std::vector<double> next(x);
+  size_t round = 0;
+  for (; round < config.max_iterations; ++round) {
+    for (size_t e = 0; e < num_arcs; ++e) {
+      if (!is_free[e]) continue;
+      // Pattern consensus: degree prior plus triad-status estimate from the
+      // current values of the neighboring ties.
+      double estimate = degree_prior[e];
+      double estimate_count = 1.0;
+      for (const auto& [uw, vw] : triads[e]) {
+        const double denom = x[uw] + x[vw];
+        if (denom > 1e-12) {
+          estimate += x[uw] / denom;
+          estimate_count += 1.0;
+        }
+      }
+      estimate /= estimate_count;
+      next[e] = (1.0 - config.damping) * x[e] + config.damping * estimate;
+    }
+    // Enforce the pair constraint x_uv + x_vu = 1 on free arcs.
+    for (size_t e = 0; e < num_arcs; ++e) {
+      if (!is_free[e]) continue;
+      const size_t r = idx.ReverseOf(e);
+      if (e < r && is_free[r]) {
+        const double total = next[e] + next[r];
+        if (total > 1e-12) {
+          next[e] /= total;
+          next[r] /= total;
+        } else {
+          next[e] = next[r] = 0.5;
+        }
+      } else if (!is_free[r]) {
+        next[e] = 1.0 - x[r];
+      }
+    }
+    // Convergence is judged on the final (normalized) values.
+    double max_change = 0.0;
+    for (size_t e = 0; e < num_arcs; ++e) {
+      if (is_free[e]) {
+        max_change = std::max(max_change, std::abs(next[e] - x[e]));
+      }
+    }
+    std::swap(x, next);
+    if (max_change < config.tolerance) {
+      ++round;
+      break;
+    }
+  }
+  model->iterations_run_ = round;
+  return model;
+}
+
+double RedirectTModel::Directionality(NodeId u, NodeId v) const {
+  return values_[index_.IndexOf(u, v)];
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,99 @@
+// ReDirect-N/sm and ReDirect-T/sm: the semi-supervised baselines of
+// Sec. 6.1, re-implemented from the descriptions in this paper (the full
+// ReDirect framework is in reference [10], which specifies four
+// directionality patterns; this paper's experiments describe the two
+// variants at the level implemented here — see DESIGN.md, Substitutions).
+//
+//  * ReDirect-N/sm (node-centroid): every node i carries two latent vectors
+//    h_i and h'_i; the directionality value of a tie (i, j) is
+//    σ(h_i · h'_j). The vectors are learned by SGD on (a) cross-entropy
+//    against the labels of directed arcs and (b) pattern pseudo-labels on
+//    unlabeled arcs (degree consistency, plus triad status consistency via
+//    the model's own current predictions), which propagates label
+//    information through shared node factors.
+//
+//  * ReDirect-T/sm (tie-centroid): every closure arc carries a scalar
+//    directionality value x_e. Labeled arcs are clamped to their labels;
+//    unlabeled arcs start from the degree-pattern prior and are iteratively
+//    updated toward the pattern consensus of their neighboring ties (triad
+//    status over common neighbors) until convergence.
+
+#ifndef DEEPDIRECT_CORE_REDIRECT_H_
+#define DEEPDIRECT_CORE_REDIRECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/directionality.h"
+#include "core/tie_index.h"
+#include "graph/mixed_graph.h"
+#include "ml/matrix.h"
+
+namespace deepdirect::core {
+
+/// ReDirect-N/sm hyper-parameters (paper: Z = 40).
+struct RedirectNConfig {
+  size_t dimensions = 40;  ///< Z, latent width per node vector
+  size_t epochs = 60;      ///< SGD passes over the closure arcs
+  double learning_rate = 0.05;
+  double min_lr_fraction = 0.05;
+  double l2 = 1e-4;
+  /// Weight of pattern pseudo-label terms relative to supervised terms.
+  double pattern_weight = 0.5;
+  uint64_t seed = 31;
+};
+
+/// Node-centroid semi-supervised ReDirect.
+class RedirectNModel : public DirectionalityModel {
+ public:
+  static std::unique_ptr<RedirectNModel> Train(
+      const graph::MixedSocialNetwork& g, const RedirectNConfig& config);
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return "ReDirect-N/sm"; }
+
+ private:
+  RedirectNModel(size_t num_nodes, size_t dimensions)
+      : h_(num_nodes, dimensions), h_prime_(num_nodes, dimensions) {}
+
+  ml::Matrix h_;        // proposer factors
+  ml::Matrix h_prime_;  // responder factors
+};
+
+/// ReDirect-T/sm hyper-parameters.
+struct RedirectTConfig {
+  size_t max_iterations = 40;
+  /// Convergence threshold on the max per-arc change.
+  double tolerance = 1e-4;
+  /// Damping of each update toward the pattern consensus.
+  double damping = 0.7;
+  /// Cap on common neighbors consulted per arc per round.
+  size_t max_common_neighbors = 10;
+  uint64_t seed = 33;
+};
+
+/// Tie-centroid semi-supervised ReDirect.
+class RedirectTModel : public DirectionalityModel {
+ public:
+  static std::unique_ptr<RedirectTModel> Train(
+      const graph::MixedSocialNetwork& g, const RedirectTConfig& config);
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return "ReDirect-T/sm"; }
+
+  /// Number of propagation rounds actually run (exposed for tests).
+  size_t iterations_run() const { return iterations_run_; }
+
+ private:
+  explicit RedirectTModel(TieIndex index)
+      : index_(std::move(index)), values_(index_.num_arcs(), 0.5) {}
+
+  TieIndex index_;
+  std::vector<double> values_;  // directionality value per closure arc
+  size_t iterations_run_ = 0;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_REDIRECT_H_

@@ -1,0 +1,213 @@
+#include "core/redirect_patterns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+double NeighborhoodJaccard(const MixedSocialNetwork& g, NodeId a, NodeId b) {
+  const auto na = g.UndirectedNeighbors(a);
+  const auto nb = g.UndirectedNeighbors(b);
+  if (na.empty() && nb.empty()) return 0.0;
+  size_t intersection = 0;
+  auto it_a = na.begin();
+  auto it_b = nb.begin();
+  while (it_a != na.end() && it_b != nb.end()) {
+    if (*it_a < *it_b) {
+      ++it_a;
+    } else if (*it_b < *it_a) {
+      ++it_b;
+    } else {
+      ++intersection;
+      ++it_a;
+      ++it_b;
+    }
+  }
+  const size_t uni = na.size() + nb.size() - intersection;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+namespace {
+
+// Precomputed per-arc data for the four estimators.
+struct ArcPatterns {
+  double degree_prior = 0.5;
+  // Triad: arc-index pairs (uw, vw) over sampled common neighbors.
+  std::vector<std::pair<uint32_t, uint32_t>> triads;
+  // Similarity: (arc index of (u', v), Jaccard(u, u')) — values of similar
+  // proposers toward the same responder.
+  std::vector<std::pair<uint32_t, double>> similar;
+};
+
+}  // namespace
+
+std::unique_ptr<RedirectFullModel> RedirectFullModel::Train(
+    const MixedSocialNetwork& g, const RedirectFullConfig& config) {
+  if (config.use_labels) DD_CHECK_GT(g.num_directed_ties(), 0u);
+  TieIndex index(g);
+  std::unique_ptr<RedirectFullModel> model(
+      new RedirectFullModel(std::move(index), config.use_labels));
+  const TieIndex& idx = model->index_;
+  std::vector<double>& x = model->values_;
+  const size_t num_arcs = idx.num_arcs();
+
+  util::Rng rng(config.seed);
+
+  std::vector<uint8_t> is_free(num_arcs, 0);
+  std::vector<ArcPatterns> patterns(num_arcs);
+  for (size_t e = 0; e < num_arcs; ++e) {
+    const auto [u, v] = idx.ArcAt(e);
+    if (config.use_labels && idx.IsLabeled(e)) {
+      x[e] = idx.Label(e);
+      continue;
+    }
+    // Bidirectional arcs propagate freely like undirected ones (their
+    // converged value quantifies the dominant direction, Sec. 5.2).
+    is_free[e] = 1;
+    ArcPatterns& p = patterns[e];
+    const double deg_u = g.Deg(u), deg_v = g.Deg(v);
+    p.degree_prior =
+        deg_u + deg_v > 0.0 ? deg_v / (deg_u + deg_v) : 0.5;
+    x[e] = p.degree_prior;
+
+    std::vector<NodeId> common = g.CommonNeighbors(u, v);
+    if (common.size() > config.max_common_neighbors) {
+      rng.Shuffle(common);
+      common.resize(config.max_common_neighbors);
+    }
+    p.triads.reserve(common.size());
+    for (NodeId w : common) {
+      p.triads.emplace_back(static_cast<uint32_t>(idx.IndexOf(u, w)),
+                            static_cast<uint32_t>(idx.IndexOf(v, w)));
+    }
+
+    // Similarity: other proposers u' of v, weighted by Jaccard(u, u').
+    std::vector<NodeId> other(g.UndirectedNeighbors(v).begin(),
+                              g.UndirectedNeighbors(v).end());
+    if (other.size() > config.max_similar_ties + 1) {
+      rng.Shuffle(other);
+      other.resize(config.max_similar_ties + 1);
+    }
+    for (NodeId u_prime : other) {
+      if (u_prime == u) continue;
+      const double sim = NeighborhoodJaccard(g, u, u_prime);
+      if (sim <= 0.0) continue;
+      p.similar.emplace_back(static_cast<uint32_t>(idx.IndexOf(u_prime, v)),
+                             sim);
+    }
+  }
+
+  // Collaborative pattern: node proposer propensities from current values.
+  std::vector<double> propensity(g.num_nodes(), 0.5);
+  auto refresh_propensities = [&]() {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const auto neighbors = idx.Neighbors(u);
+      if (neighbors.empty()) continue;
+      double total = 0.0;
+      for (NodeId v : neighbors) total += x[idx.IndexOf(u, v)];
+      propensity[u] = total / static_cast<double>(neighbors.size());
+    }
+  };
+
+  const double weight_total =
+      config.degree_weight + config.triad_weight +
+      config.similarity_weight + config.collaborative_weight;
+  DD_CHECK_GT(weight_total, 0.0);
+
+  std::vector<double> next(x);
+  size_t round = 0;
+  for (; round < config.max_iterations; ++round) {
+    refresh_propensities();
+    for (size_t e = 0; e < num_arcs; ++e) {
+      if (!is_free[e]) continue;
+      const auto [u, v] = idx.ArcAt(e);
+      const ArcPatterns& p = patterns[e];
+
+      double estimate = config.degree_weight * p.degree_prior;
+      double active_weight = config.degree_weight;
+
+      if (!p.triads.empty() && config.triad_weight > 0.0) {
+        double triad = 0.0;
+        double triad_count = 0.0;
+        for (const auto& [uw, vw] : p.triads) {
+          const double denom = x[uw] + x[vw];
+          if (denom > 1e-12) {
+            triad += x[uw] / denom;
+            triad_count += 1.0;
+          }
+        }
+        if (triad_count > 0.0) {
+          estimate += config.triad_weight * triad / triad_count;
+          active_weight += config.triad_weight;
+        }
+      }
+
+      if (!p.similar.empty() && config.similarity_weight > 0.0) {
+        double weighted = 0.0, sim_total = 0.0;
+        for (const auto& [arc, sim] : p.similar) {
+          weighted += sim * x[arc];
+          sim_total += sim;
+        }
+        if (sim_total > 0.0) {
+          estimate += config.similarity_weight * weighted / sim_total;
+          active_weight += config.similarity_weight;
+        }
+      }
+
+      if (config.collaborative_weight > 0.0) {
+        const double denom = propensity[u] + propensity[v];
+        const double collaborative =
+            denom > 1e-12 ? propensity[u] / denom : 0.5;
+        estimate += config.collaborative_weight * collaborative;
+        active_weight += config.collaborative_weight;
+      }
+
+      estimate /= active_weight;
+      next[e] = (1.0 - config.damping) * x[e] + config.damping * estimate;
+    }
+
+    // Pair constraint.
+    for (size_t e = 0; e < num_arcs; ++e) {
+      if (!is_free[e]) continue;
+      const size_t r = idx.ReverseOf(e);
+      if (e < r && is_free[r]) {
+        const double total = next[e] + next[r];
+        if (total > 1e-12) {
+          next[e] /= total;
+          next[r] /= total;
+        } else {
+          next[e] = next[r] = 0.5;
+        }
+      } else if (!is_free[r]) {
+        next[e] = 1.0 - x[r];
+      }
+    }
+
+    double max_change = 0.0;
+    for (size_t e = 0; e < num_arcs; ++e) {
+      if (is_free[e]) {
+        max_change = std::max(max_change, std::abs(next[e] - x[e]));
+      }
+    }
+    std::swap(x, next);
+    if (max_change < config.tolerance) {
+      ++round;
+      break;
+    }
+  }
+  model->iterations_run_ = round;
+  return model;
+}
+
+double RedirectFullModel::Directionality(NodeId u, NodeId v) const {
+  return values_[index_.IndexOf(u, v)];
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,49 @@
+#include "core/sae_model.h"
+
+#include "ml/dataset.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+std::unique_ptr<SaeModel> SaeModel::Train(const MixedSocialNetwork& g,
+                                          const SaeModelConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  embedding::SaeEmbedding node_embedding =
+      embedding::SaeEmbedding::Train(g, config.sae);
+  const size_t feature_dims = embedding::EdgeFeatureDims(
+      config.edge_operator, node_embedding.dimensions());
+  std::unique_ptr<SaeModel> model(new SaeModel(
+      std::move(node_embedding), config.edge_operator, feature_dims));
+
+  const size_t node_dims = model->embedding_.dimensions();
+  ml::Dataset data(feature_dims);
+  std::vector<double> src(node_dims), dst(node_dims), features(feature_dims);
+  auto add_instance = [&](NodeId u, NodeId v, double label) {
+    model->embedding_.NodeVectorAsDouble(u, src);
+    model->embedding_.NodeVectorAsDouble(v, dst);
+    embedding::ComposeEdgeFeatures(config.edge_operator, src, dst, features);
+    data.Add(features, label);
+  };
+  for (graph::ArcId id : g.directed_arcs()) {
+    const graph::Arc& arc = g.arc(id);
+    add_instance(arc.src, arc.dst, 1.0);
+    add_instance(arc.dst, arc.src, 0.0);
+  }
+  model->regression_.Train(data, config.regression);
+  return model;
+}
+
+double SaeModel::Directionality(NodeId u, NodeId v) const {
+  const size_t node_dims = embedding_.dimensions();
+  std::vector<double> src(node_dims), dst(node_dims);
+  std::vector<double> features(
+      embedding::EdgeFeatureDims(edge_operator_, node_dims));
+  embedding_.NodeVectorAsDouble(u, src);
+  embedding_.NodeVectorAsDouble(v, dst);
+  embedding::ComposeEdgeFeatures(edge_operator_, src, dst, features);
+  return regression_.Predict(features);
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,52 @@
+// SAE directionality model: autoencoder node embeddings + edge operator +
+// logistic regression. The autoencoder branch of the related-work
+// comparison (paper reference [13]).
+
+#ifndef DEEPDIRECT_CORE_SAE_MODEL_H_
+#define DEEPDIRECT_CORE_SAE_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/directionality.h"
+#include "embedding/edge_features.h"
+#include "embedding/sae.h"
+#include "graph/mixed_graph.h"
+#include "ml/logistic_regression.h"
+
+namespace deepdirect::core {
+
+/// SAE-model hyper-parameters.
+struct SaeModelConfig {
+  embedding::SaeConfig sae;
+  embedding::EdgeOperator edge_operator =
+      embedding::EdgeOperator::kConcatenate;
+  ml::LogisticRegressionConfig regression = {
+      .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
+      .l2 = 1e-4, .seed = 69, .shuffle = true};
+};
+
+/// Trained SAE + logistic-regression directionality model.
+class SaeModel : public DirectionalityModel {
+ public:
+  static std::unique_ptr<SaeModel> Train(const graph::MixedSocialNetwork& g,
+                                         const SaeModelConfig& config);
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override;
+  std::string name() const override { return "SAE"; }
+
+ private:
+  SaeModel(embedding::SaeEmbedding embedding, embedding::EdgeOperator op,
+           size_t feature_dims)
+      : embedding_(std::move(embedding)),
+        edge_operator_(op),
+        regression_(feature_dims) {}
+
+  embedding::SaeEmbedding embedding_;
+  embedding::EdgeOperator edge_operator_;
+  ml::LogisticRegression regression_;
+};
+
+}  // namespace deepdirect::core
+
+#endif  // DEEPDIRECT_CORE_SAE_MODEL_H_

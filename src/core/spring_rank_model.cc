@@ -1,0 +1,33 @@
+#include "core/spring_rank_model.h"
+
+#include "ml/dataset.h"
+
+namespace deepdirect::core {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+std::unique_ptr<SpringRankModel> SpringRankModel::Train(
+    const MixedSocialNetwork& g, const SpringRankModelConfig& config) {
+  DD_CHECK_GT(g.num_directed_ties(), 0u);
+  std::unique_ptr<SpringRankModel> model(
+      new SpringRankModel(graph::SpringRank(g, config.spring_rank)));
+
+  // Calibrate the gap scale on the labeled ties (both orientations).
+  ml::Dataset data(1);
+  for (graph::ArcId id : g.directed_arcs()) {
+    const graph::Arc& arc = g.arc(id);
+    const double gap = model->scores_[arc.dst] - model->scores_[arc.src];
+    data.Add(std::vector<double>{gap}, 1.0);
+    data.Add(std::vector<double>{-gap}, 0.0);
+  }
+  model->calibration_.Train(data, config.calibration);
+  return model;
+}
+
+double SpringRankModel::Directionality(NodeId u, NodeId v) const {
+  const double gap = scores_[v] - scores_[u];
+  return calibration_.Predict(std::vector<double>{gap});
+}
+
+}  // namespace deepdirect::core

@@ -1,0 +1,57 @@
+#include "embedding/edge_features.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepdirect::embedding {
+
+const char* EdgeOperatorToString(EdgeOperator op) {
+  switch (op) {
+    case EdgeOperator::kConcatenate:
+      return "concatenate";
+    case EdgeOperator::kAverage:
+      return "average";
+    case EdgeOperator::kHadamard:
+      return "hadamard";
+    case EdgeOperator::kL1:
+      return "l1";
+    case EdgeOperator::kL2:
+      return "l2";
+  }
+  return "unknown";
+}
+
+size_t EdgeFeatureDims(EdgeOperator op, size_t node_dims) {
+  return op == EdgeOperator::kConcatenate ? 2 * node_dims : node_dims;
+}
+
+void ComposeEdgeFeatures(EdgeOperator op, std::span<const double> src,
+                         std::span<const double> dst, std::span<double> out) {
+  DD_CHECK_EQ(src.size(), dst.size());
+  DD_CHECK_EQ(out.size(), EdgeFeatureDims(op, src.size()));
+  const size_t d = src.size();
+  switch (op) {
+    case EdgeOperator::kConcatenate:
+      for (size_t k = 0; k < d; ++k) out[k] = src[k];
+      for (size_t k = 0; k < d; ++k) out[d + k] = dst[k];
+      break;
+    case EdgeOperator::kAverage:
+      for (size_t k = 0; k < d; ++k) out[k] = 0.5 * (src[k] + dst[k]);
+      break;
+    case EdgeOperator::kHadamard:
+      for (size_t k = 0; k < d; ++k) out[k] = src[k] * dst[k];
+      break;
+    case EdgeOperator::kL1:
+      for (size_t k = 0; k < d; ++k) out[k] = std::abs(src[k] - dst[k]);
+      break;
+    case EdgeOperator::kL2:
+      for (size_t k = 0; k < d; ++k) {
+        const double delta = src[k] - dst[k];
+        out[k] = delta * delta;
+      }
+      break;
+  }
+}
+
+}  // namespace deepdirect::embedding

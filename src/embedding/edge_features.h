@@ -1,0 +1,38 @@
+// Node-pair → edge feature operators.
+//
+// The paper uses concatenation for LINE (Sec. 6.1); node2vec-style binary
+// operators (average, Hadamard, L1, L2) are provided as extensions and
+// exercised by an ablation bench. All operators consume two equal-length
+// node vectors and emit a double feature vector.
+
+#ifndef DEEPDIRECT_EMBEDDING_EDGE_FEATURES_H_
+#define DEEPDIRECT_EMBEDDING_EDGE_FEATURES_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deepdirect::embedding {
+
+/// Available binary operators for composing edge features from node vectors.
+enum class EdgeOperator {
+  kConcatenate = 0,  ///< [src ; dst] — dimension 2d (the paper's choice)
+  kAverage = 1,      ///< (src + dst) / 2 — dimension d
+  kHadamard = 2,     ///< src ⊙ dst — dimension d
+  kL1 = 3,           ///< |src − dst| — dimension d
+  kL2 = 4,           ///< (src − dst)² — dimension d
+};
+
+/// Short lowercase operator name for reports.
+const char* EdgeOperatorToString(EdgeOperator op);
+
+/// Output dimensionality for node vectors of length `node_dims`.
+size_t EdgeFeatureDims(EdgeOperator op, size_t node_dims);
+
+/// Applies the operator; `out` must have EdgeFeatureDims(...) entries.
+void ComposeEdgeFeatures(EdgeOperator op, std::span<const double> src,
+                         std::span<const double> dst, std::span<double> out);
+
+}  // namespace deepdirect::embedding
+
+#endif  // DEEPDIRECT_EMBEDDING_EDGE_FEATURES_H_

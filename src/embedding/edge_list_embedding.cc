@@ -1,0 +1,68 @@
+#include "embedding/edge_list_embedding.h"
+
+#include <cmath>
+
+#include "util/alias_table.h"
+
+namespace deepdirect::embedding {
+
+ml::Matrix TrainEdgeListEmbedding(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    const EdgeListEmbeddingConfig& config) {
+  DD_CHECK_GT(num_nodes, 0u);
+  util::Rng rng(config.seed);
+  const size_t dims = config.dimensions;
+  ml::Matrix vectors(num_nodes, dims);
+  ml::Matrix contexts(num_nodes, dims);
+  const float init = 0.5f / static_cast<float>(dims);
+  vectors.FillUniform(rng, -init, init);
+
+  if (edges.empty()) return vectors;
+
+  std::vector<double> in_degree(num_nodes, 0.0);
+  for (const auto& [src, dst] : edges) {
+    DD_CHECK_LT(src, num_nodes);
+    DD_CHECK_LT(dst, num_nodes);
+    in_degree[dst] += 1.0;
+  }
+  for (double& d : in_degree) d = std::pow(d + 1.0, 0.75);
+  const util::AliasTable noise(in_degree);
+
+  const uint64_t total_steps =
+      static_cast<uint64_t>(config.samples_per_edge) * edges.size();
+  std::vector<double> grad(dims);
+  for (uint64_t step = 0; step < total_steps; ++step) {
+    const double progress =
+        static_cast<double>(step) / static_cast<double>(total_steps);
+    const double lr = config.initial_learning_rate *
+                      std::max(config.min_lr_fraction, 1.0 - progress);
+    const auto& [src, dst] = edges[rng.NextIndex(edges.size())];
+    auto src_row = vectors.Row(src);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    {
+      auto dst_row = contexts.Row(dst);
+      const double g = (1.0 - ml::Sigmoid(ml::Dot(src_row, dst_row))) * lr;
+      for (size_t k = 0; k < dims; ++k) {
+        grad[k] += g * static_cast<double>(dst_row[k]);
+        dst_row[k] += static_cast<float>(g * static_cast<double>(src_row[k]));
+      }
+    }
+    for (size_t neg = 0; neg < config.negative_samples; ++neg) {
+      const uint32_t noise_node = static_cast<uint32_t>(noise.Sample(rng));
+      if (noise_node == dst) continue;
+      auto noise_row = contexts.Row(noise_node);
+      const double g = -ml::Sigmoid(ml::Dot(src_row, noise_row)) * lr;
+      for (size_t k = 0; k < dims; ++k) {
+        grad[k] += g * static_cast<double>(noise_row[k]);
+        noise_row[k] +=
+            static_cast<float>(g * static_cast<double>(src_row[k]));
+      }
+    }
+    for (size_t k = 0; k < dims; ++k) {
+      src_row[k] += static_cast<float>(grad[k]);
+    }
+  }
+  return vectors;
+}
+
+}  // namespace deepdirect::embedding

@@ -1,0 +1,38 @@
+// Generic LINE-style (second-order) embedding over an arbitrary directed
+// edge list. This powers the line-graph route discussed and rejected in
+// Sec. 4: running a node embedding over the *line digraph*, whose nodes
+// are the original network's arcs, yields tie embeddings indirectly.
+
+#ifndef DEEPDIRECT_EMBEDDING_EDGE_LIST_EMBEDDING_H_
+#define DEEPDIRECT_EMBEDDING_EDGE_LIST_EMBEDDING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/random.h"
+
+namespace deepdirect::embedding {
+
+/// Training parameters (mirrors LineConfig's second-order half).
+struct EdgeListEmbeddingConfig {
+  size_t dimensions = 64;
+  size_t negative_samples = 5;
+  /// SGD steps = samples_per_edge × edges.size().
+  size_t samples_per_edge = 20;
+  double initial_learning_rate = 0.025;
+  double min_lr_fraction = 1e-2;
+  uint64_t seed = 57;
+};
+
+/// Trains vertex vectors over the directed edges (src, dst) with skip-gram
+/// negative sampling (noise ∝ (in-degree + 1)^{3/4}). Returns a
+/// num_nodes × dimensions matrix.
+ml::Matrix TrainEdgeListEmbedding(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    const EdgeListEmbeddingConfig& config);
+
+}  // namespace deepdirect::embedding
+
+#endif  // DEEPDIRECT_EMBEDDING_EDGE_LIST_EMBEDDING_H_

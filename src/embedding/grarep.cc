@@ -1,0 +1,69 @@
+#include "embedding/grarep.h"
+
+#include <cmath>
+
+namespace deepdirect::embedding {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+GraRepEmbedding GraRepEmbedding::Train(const MixedSocialNetwork& g,
+                                       const GraRepConfig& config) {
+  const size_t n = g.num_nodes();
+  DD_CHECK_GT(n, 0u);
+  DD_CHECK_GT(config.max_step, 0u);
+  util::Rng rng(config.seed);
+
+  // Row-normalized transition matrix S over the undirected view (dangling
+  // nodes keep an all-zero row).
+  ml::DMatrix transition(n, n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neighbors = g.UndirectedNeighbors(u);
+    if (neighbors.empty()) continue;
+    const double p = 1.0 / static_cast<double>(neighbors.size());
+    for (NodeId v : neighbors) transition.At(u, v) = p;
+  }
+
+  ml::Matrix vectors(n, config.max_step * config.dims_per_step);
+  ml::DMatrix power = transition;  // S^k for the current k
+  for (size_t step = 0; step < config.max_step; ++step) {
+    if (step > 0) power = ml::MatMul(power, transition);
+
+    // Positive log matrix: X_ij = max(0, log(S^k_ij / q_j) − log λ) with
+    // q_j the mean of column j and λ = 1 (standard GraRep shift).
+    ml::DMatrix x(n, n);
+    std::vector<double> column_mean(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) column_mean[j] += power.At(i, j);
+    }
+    for (double& q : column_mean) q /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        const double p = power.At(i, j);
+        if (p <= 0.0 || column_mean[j] <= 0.0) continue;
+        const double value = std::log(p / column_mean[j]);
+        if (value > 0.0) x.At(i, j) = value;
+      }
+    }
+
+    const ml::DMatrix factor = ml::TruncatedSvdFactor(
+        x, config.dims_per_step, config.oversample,
+        config.power_iterations, rng);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < config.dims_per_step; ++j) {
+        vectors.At(i, step * config.dims_per_step + j) =
+            static_cast<float>(factor.At(i, j));
+      }
+    }
+  }
+  return GraRepEmbedding(std::move(vectors));
+}
+
+void GraRepEmbedding::NodeVectorAsDouble(NodeId u,
+                                         std::span<double> out) const {
+  const auto row = vectors_.Row(u);
+  DD_CHECK_EQ(out.size(), row.size());
+  for (size_t k = 0; k < row.size(); ++k) out[k] = row[k];
+}
+
+}  // namespace deepdirect::embedding

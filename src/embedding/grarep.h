@@ -1,0 +1,54 @@
+// GraRep (Cao, Lu & Xu, CIKM 2015 — the paper's reference [32]): node
+// embeddings from truncated SVD of log-shifted k-step transition
+// probability matrices, one block per step, concatenated.
+
+#ifndef DEEPDIRECT_EMBEDDING_GRAREP_H_
+#define DEEPDIRECT_EMBEDDING_GRAREP_H_
+
+#include <span>
+
+#include "graph/mixed_graph.h"
+#include "ml/linalg.h"
+#include "ml/matrix.h"
+
+namespace deepdirect::embedding {
+
+/// GraRep parameters.
+struct GraRepConfig {
+  /// Maximum transition step K; the embedding concatenates K blocks.
+  size_t max_step = 3;
+  /// Dimensions per step block (total = max_step × dims_per_step).
+  size_t dims_per_step = 16;
+  /// SVD oversampling and power iterations.
+  size_t oversample = 8;
+  size_t power_iterations = 2;
+  uint64_t seed = 79;
+};
+
+/// Trained GraRep node embeddings.
+class GraRepEmbedding {
+ public:
+  /// Computes transition powers over the undirected view and factorizes.
+  /// Dense O(K·n³) — fine at the library's dataset scale, not for huge
+  /// graphs (GraRep's acknowledged limitation).
+  static GraRepEmbedding Train(const graph::MixedSocialNetwork& g,
+                               const GraRepConfig& config);
+
+  size_t dimensions() const { return vectors_.cols(); }
+
+  std::span<const float> NodeVector(graph::NodeId u) const {
+    return vectors_.Row(u);
+  }
+
+  void NodeVectorAsDouble(graph::NodeId u, std::span<double> out) const;
+
+ private:
+  explicit GraRepEmbedding(ml::Matrix vectors)
+      : vectors_(std::move(vectors)) {}
+
+  ml::Matrix vectors_;
+};
+
+}  // namespace deepdirect::embedding
+
+#endif  // DEEPDIRECT_EMBEDDING_GRAREP_H_

@@ -1,0 +1,19 @@
+#include "embedding/node2vec.h"
+
+namespace deepdirect::embedding {
+
+Node2vecEmbedding Node2vecEmbedding::Train(const graph::MixedSocialNetwork& g,
+                                           const Node2vecConfig& config) {
+  const WalkCorpus corpus = GenerateWalks(g, config.walks);
+  ml::Matrix vectors = TrainSkipGram(corpus, g.num_nodes(), config.skipgram);
+  return Node2vecEmbedding(std::move(vectors));
+}
+
+void Node2vecEmbedding::NodeVectorAsDouble(graph::NodeId u,
+                                           std::span<double> out) const {
+  const auto row = vectors_.Row(u);
+  DD_CHECK_EQ(out.size(), row.size());
+  for (size_t k = 0; k < row.size(); ++k) out[k] = row[k];
+}
+
+}  // namespace deepdirect::embedding

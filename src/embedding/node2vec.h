@@ -1,0 +1,55 @@
+// node2vec / DeepWalk node embeddings: random-walk corpus + skip-gram.
+// DeepWalk is the p = q = 1 special case.
+
+#ifndef DEEPDIRECT_EMBEDDING_NODE2VEC_H_
+#define DEEPDIRECT_EMBEDDING_NODE2VEC_H_
+
+#include <span>
+
+#include "embedding/random_walks.h"
+#include "embedding/skipgram.h"
+#include "graph/mixed_graph.h"
+#include "ml/matrix.h"
+
+namespace deepdirect::embedding {
+
+/// Combined walk + skip-gram configuration.
+struct Node2vecConfig {
+  WalkConfig walks;
+  SkipGramConfig skipgram;
+
+  /// DeepWalk preset: uniform walks.
+  static Node2vecConfig DeepWalk() {
+    Node2vecConfig config;
+    config.walks.return_param = 1.0;
+    config.walks.inout_param = 1.0;
+    return config;
+  }
+};
+
+/// Trained node2vec embeddings.
+class Node2vecEmbedding {
+ public:
+  /// Generates walks over `g` and trains skip-gram vectors.
+  static Node2vecEmbedding Train(const graph::MixedSocialNetwork& g,
+                                 const Node2vecConfig& config);
+
+  size_t dimensions() const { return vectors_.cols(); }
+
+  std::span<const float> NodeVector(graph::NodeId u) const {
+    return vectors_.Row(u);
+  }
+
+  /// Copies node u's vector into `out` as doubles.
+  void NodeVectorAsDouble(graph::NodeId u, std::span<double> out) const;
+
+ private:
+  explicit Node2vecEmbedding(ml::Matrix vectors)
+      : vectors_(std::move(vectors)) {}
+
+  ml::Matrix vectors_;
+};
+
+}  // namespace deepdirect::embedding
+
+#endif  // DEEPDIRECT_EMBEDDING_NODE2VEC_H_

@@ -1,0 +1,97 @@
+#include "embedding/random_walks.h"
+
+#include <algorithm>
+
+namespace deepdirect::embedding {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+namespace {
+
+// One p/q-biased step: given previous node `prev` and current node `cur`,
+// samples the next node among cur's neighbors with node2vec weights
+// (1/p for returning to prev, 1 for neighbors of prev, 1/q otherwise).
+// Uses on-the-fly weight computation — O(deg) per step, fine at our scale.
+NodeId BiasedStep(const MixedSocialNetwork& g, NodeId prev, NodeId cur,
+                  double return_weight, double inout_weight,
+                  util::Rng& rng, std::vector<double>& weight_scratch) {
+  const auto neighbors = g.UndirectedNeighbors(cur);
+  DD_CHECK(!neighbors.empty());
+  const auto prev_neighbors = g.UndirectedNeighbors(prev);
+
+  weight_scratch.clear();
+  double total = 0.0;
+  for (NodeId candidate : neighbors) {
+    double w;
+    if (candidate == prev) {
+      w = return_weight;
+    } else if (std::binary_search(prev_neighbors.begin(),
+                                  prev_neighbors.end(), candidate)) {
+      w = 1.0;  // distance 1 from prev
+    } else {
+      w = inout_weight;  // distance 2 from prev
+    }
+    weight_scratch.push_back(w);
+    total += w;
+  }
+  double draw = rng.NextDouble() * total;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    draw -= weight_scratch[i];
+    if (draw <= 0.0) return neighbors[i];
+  }
+  return neighbors.back();
+}
+
+}  // namespace
+
+WalkCorpus GenerateWalks(const MixedSocialNetwork& g,
+                         const WalkConfig& config) {
+  DD_CHECK_GT(config.walk_length, 1u);
+  DD_CHECK_GT(config.return_param, 0.0);
+  DD_CHECK_GT(config.inout_param, 0.0);
+  util::Rng rng(config.seed);
+  const double return_weight = 1.0 / config.return_param;
+  const double inout_weight = 1.0 / config.inout_param;
+  const bool uniform =
+      config.return_param == 1.0 && config.inout_param == 1.0;
+
+  WalkCorpus corpus;
+  corpus.walks.reserve(g.num_nodes() * config.walks_per_node);
+  std::vector<double> weight_scratch;
+
+  // Start nodes in shuffled order per round, as the original algorithms do.
+  std::vector<NodeId> order;
+  order.reserve(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.UndirectedDegree(u) > 0) order.push_back(u);
+  }
+
+  for (size_t round = 0; round < config.walks_per_node; ++round) {
+    rng.Shuffle(order);
+    for (NodeId start : order) {
+      std::vector<NodeId> walk;
+      walk.reserve(config.walk_length);
+      walk.push_back(start);
+      // First step is always uniform (no previous node yet).
+      const auto first_neighbors = g.UndirectedNeighbors(start);
+      walk.push_back(first_neighbors[rng.NextIndex(first_neighbors.size())]);
+      while (walk.size() < config.walk_length) {
+        const NodeId prev = walk[walk.size() - 2];
+        const NodeId cur = walk.back();
+        const auto neighbors = g.UndirectedNeighbors(cur);
+        if (neighbors.empty()) break;
+        if (uniform) {
+          walk.push_back(neighbors[rng.NextIndex(neighbors.size())]);
+        } else {
+          walk.push_back(BiasedStep(g, prev, cur, return_weight,
+                                    inout_weight, rng, weight_scratch));
+        }
+      }
+      corpus.walks.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace deepdirect::embedding

@@ -1,0 +1,52 @@
+// Random-walk corpus generation over the undirected view of a mixed social
+// network: uniform walks (DeepWalk, Perozzi et al. 2014) and p/q-biased
+// second-order walks (node2vec, Grover & Leskovec 2016).
+//
+// These power the additional node-embedding baselines beyond LINE (the
+// paper cites both methods in Sec. 7 as the random-walk branch of
+// skip-gram-style graph embedding).
+
+#ifndef DEEPDIRECT_EMBEDDING_RANDOM_WALKS_H_
+#define DEEPDIRECT_EMBEDDING_RANDOM_WALKS_H_
+
+#include <vector>
+
+#include "graph/mixed_graph.h"
+#include "util/random.h"
+
+namespace deepdirect::embedding {
+
+/// Walk generation parameters. return_param = inout_param = 1 degenerates
+/// to DeepWalk's uniform walks.
+struct WalkConfig {
+  size_t walks_per_node = 10;
+  size_t walk_length = 40;
+  /// node2vec p: likelihood control of immediately revisiting the previous
+  /// node (weight 1/p).
+  double return_param = 1.0;
+  /// node2vec q: in-out control; distance-2 candidates get weight 1/q.
+  double inout_param = 1.0;
+  uint64_t seed = 51;
+};
+
+/// A corpus of node walks.
+struct WalkCorpus {
+  std::vector<std::vector<graph::NodeId>> walks;
+
+  /// Total number of node occurrences across all walks.
+  size_t TotalTokens() const {
+    size_t total = 0;
+    for (const auto& walk : walks) total += walk.size();
+    return total;
+  }
+};
+
+/// Generates `walks_per_node` walks from every non-isolated node. Walks
+/// shorter than walk_length occur only at dead ends (never on the
+/// undirected view of a connected network).
+WalkCorpus GenerateWalks(const graph::MixedSocialNetwork& g,
+                         const WalkConfig& config);
+
+}  // namespace deepdirect::embedding
+
+#endif  // DEEPDIRECT_EMBEDDING_RANDOM_WALKS_H_

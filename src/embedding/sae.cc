@@ -1,0 +1,40 @@
+#include "embedding/sae.h"
+
+namespace deepdirect::embedding {
+
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+
+SaeEmbedding SaeEmbedding::Train(const MixedSocialNetwork& g,
+                                 const SaeConfig& config) {
+  const size_t n = g.num_nodes();
+  DD_CHECK_GT(n, 0u);
+
+  // Binary undirected adjacency rows.
+  std::vector<std::vector<double>> rows(n, std::vector<double>(n, 0.0));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.UndirectedNeighbors(u)) rows[u][v] = 1.0;
+  }
+
+  ml::Autoencoder autoencoder(n, config.autoencoder);
+  const double error = autoencoder.Train(rows, config.autoencoder);
+
+  ml::Matrix vectors(n, autoencoder.code_dims());
+  std::vector<double> code(autoencoder.code_dims());
+  for (NodeId u = 0; u < n; ++u) {
+    autoencoder.Encode(rows[u], code);
+    auto row = vectors.Row(u);
+    for (size_t k = 0; k < code.size(); ++k) {
+      row[k] = static_cast<float>(code[k]);
+    }
+  }
+  return SaeEmbedding(std::move(vectors), error);
+}
+
+void SaeEmbedding::NodeVectorAsDouble(NodeId u, std::span<double> out) const {
+  const auto row = vectors_.Row(u);
+  DD_CHECK_EQ(out.size(), row.size());
+  for (size_t k = 0; k < row.size(); ++k) out[k] = row[k];
+}
+
+}  // namespace deepdirect::embedding

@@ -1,0 +1,58 @@
+// SAE: autoencoder-based node embedding (Tian et al., AAAI 2014 — the
+// paper's reference [13], the first category of deep graph embedding in
+// Sec. 7). Each node's undirected adjacency row is compressed by a dense
+// autoencoder with SDNE-style non-zero over-weighting; the code layer is
+// the node vector.
+
+#ifndef DEEPDIRECT_EMBEDDING_SAE_H_
+#define DEEPDIRECT_EMBEDDING_SAE_H_
+
+#include <span>
+
+#include "graph/mixed_graph.h"
+#include "ml/autoencoder.h"
+#include "ml/matrix.h"
+
+namespace deepdirect::embedding {
+
+/// SAE training parameters.
+struct SaeConfig {
+  ml::AutoencoderConfig autoencoder;
+
+  SaeConfig() {
+    // Default stack: input → 128 → 32.
+    autoencoder.encoder_dims = {128, 32};
+    autoencoder.epochs = 5;
+  }
+};
+
+/// Trained SAE node embeddings.
+class SaeEmbedding {
+ public:
+  /// Builds adjacency rows for `g` and trains the autoencoder.
+  static SaeEmbedding Train(const graph::MixedSocialNetwork& g,
+                            const SaeConfig& config);
+
+  size_t dimensions() const { return vectors_.cols(); }
+
+  std::span<const float> NodeVector(graph::NodeId u) const {
+    return vectors_.Row(u);
+  }
+
+  /// Copies node u's vector into `out` as doubles.
+  void NodeVectorAsDouble(graph::NodeId u, std::span<double> out) const;
+
+  /// Final training reconstruction error (for tests / diagnostics).
+  double reconstruction_error() const { return reconstruction_error_; }
+
+ private:
+  SaeEmbedding(ml::Matrix vectors, double error)
+      : vectors_(std::move(vectors)), reconstruction_error_(error) {}
+
+  ml::Matrix vectors_;
+  double reconstruction_error_;
+};
+
+}  // namespace deepdirect::embedding
+
+#endif  // DEEPDIRECT_EMBEDDING_SAE_H_

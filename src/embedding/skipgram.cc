@@ -1,0 +1,90 @@
+#include "embedding/skipgram.h"
+
+#include <cmath>
+
+#include "util/alias_table.h"
+
+namespace deepdirect::embedding {
+
+using graph::NodeId;
+
+ml::Matrix TrainSkipGram(const WalkCorpus& corpus, size_t num_nodes,
+                         const SkipGramConfig& config) {
+  DD_CHECK_GT(num_nodes, 0u);
+  DD_CHECK_GT(config.dimensions, 0u);
+  util::Rng rng(config.seed);
+
+  const size_t dims = config.dimensions;
+  ml::Matrix vectors(num_nodes, dims);
+  ml::Matrix contexts(num_nodes, dims);
+  const float init = 0.5f / static_cast<float>(dims);
+  vectors.FillUniform(rng, -init, init);
+  // Context matrix starts at zero (word2vec convention).
+
+  // Unigram^{3/4} noise distribution from corpus frequencies.
+  std::vector<double> frequency(num_nodes, 0.0);
+  for (const auto& walk : corpus.walks) {
+    for (NodeId node : walk) frequency[node] += 1.0;
+  }
+  for (double& f : frequency) f = std::pow(f + 1.0, 0.75);
+  const util::AliasTable noise(frequency);
+
+  const uint64_t total_tokens =
+      static_cast<uint64_t>(config.epochs) * corpus.TotalTokens();
+  uint64_t processed = 0;
+  std::vector<double> grad(dims);
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& walk : corpus.walks) {
+      for (size_t position = 0; position < walk.size(); ++position) {
+        const double progress = static_cast<double>(processed) /
+                                static_cast<double>(total_tokens);
+        const double lr =
+            config.initial_learning_rate *
+            std::max(config.min_lr_fraction, 1.0 - progress);
+        ++processed;
+
+        const NodeId center = walk[position];
+        auto center_row = vectors.Row(center);
+        // Dynamic window as in word2vec: radius drawn per center.
+        const size_t radius = 1 + rng.NextIndex(config.window);
+        const size_t begin = position >= radius ? position - radius : 0;
+        const size_t end = std::min(walk.size(), position + radius + 1);
+        for (size_t context_pos = begin; context_pos < end; ++context_pos) {
+          if (context_pos == position) continue;
+          const NodeId context = walk[context_pos];
+          std::fill(grad.begin(), grad.end(), 0.0);
+
+          {
+            auto context_row = contexts.Row(context);
+            const double score = ml::Dot(center_row, context_row);
+            const double g = (1.0 - ml::Sigmoid(score)) * lr;
+            for (size_t k = 0; k < dims; ++k) {
+              grad[k] += g * static_cast<double>(context_row[k]);
+              context_row[k] +=
+                  static_cast<float>(g * static_cast<double>(center_row[k]));
+            }
+          }
+          for (size_t neg = 0; neg < config.negative_samples; ++neg) {
+            const NodeId noise_node = static_cast<NodeId>(noise.Sample(rng));
+            if (noise_node == context) continue;
+            auto noise_row = contexts.Row(noise_node);
+            const double score = ml::Dot(center_row, noise_row);
+            const double g = -ml::Sigmoid(score) * lr;
+            for (size_t k = 0; k < dims; ++k) {
+              grad[k] += g * static_cast<double>(noise_row[k]);
+              noise_row[k] +=
+                  static_cast<float>(g * static_cast<double>(center_row[k]));
+            }
+          }
+          for (size_t k = 0; k < dims; ++k) {
+            center_row[k] += static_cast<float>(grad[k]);
+          }
+        }
+      }
+    }
+  }
+  return vectors;
+}
+
+}  // namespace deepdirect::embedding

@@ -1,0 +1,32 @@
+// Skip-gram with negative sampling over a random-walk corpus (the word2vec
+// core of DeepWalk and node2vec): co-occurring nodes within a window embed
+// close; negatives drawn ∝ frequency^{3/4}.
+
+#ifndef DEEPDIRECT_EMBEDDING_SKIPGRAM_H_
+#define DEEPDIRECT_EMBEDDING_SKIPGRAM_H_
+
+#include "embedding/random_walks.h"
+#include "ml/matrix.h"
+
+namespace deepdirect::embedding {
+
+/// Skip-gram training parameters.
+struct SkipGramConfig {
+  size_t dimensions = 64;
+  size_t window = 5;
+  size_t negative_samples = 5;
+  /// Passes over the corpus.
+  size_t epochs = 2;
+  double initial_learning_rate = 0.025;
+  double min_lr_fraction = 1e-2;
+  uint64_t seed = 53;
+};
+
+/// Trains node vectors from the corpus. Returns a num_nodes × dimensions
+/// matrix (rows of isolated / never-visited nodes keep their random init).
+ml::Matrix TrainSkipGram(const WalkCorpus& corpus, size_t num_nodes,
+                         const SkipGramConfig& config);
+
+}  // namespace deepdirect::embedding
+
+#endif  // DEEPDIRECT_EMBEDDING_SKIPGRAM_H_

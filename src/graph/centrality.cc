@@ -1,0 +1,125 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/algorithms.h"
+
+namespace deepdirect::graph {
+
+namespace {
+
+// One Brandes source iteration: BFS from `s`, then dependency accumulation.
+// Adds each node's dependency from this source into `centrality`.
+void BrandesAccumulate(const MixedSocialNetwork& g, NodeId s,
+                       std::vector<double>& centrality) {
+  const size_t n = g.num_nodes();
+  std::vector<uint32_t> dist(n, kUnreachable);
+  std::vector<double> sigma(n, 0.0);    // shortest-path counts
+  std::vector<double> delta(n, 0.0);    // dependencies
+  std::vector<NodeId> order;            // nodes in non-decreasing distance
+  order.reserve(n);
+
+  std::deque<NodeId> queue;
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (NodeId v : g.UndirectedNeighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+
+  // Accumulate in reverse BFS order; predecessors of v are the neighbors one
+  // hop closer to s.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    for (NodeId u : g.UndirectedNeighbors(v)) {
+      if (dist[u] + 1 == dist[v]) {
+        delta[u] += (sigma[u] / sigma[v]) * (1.0 + delta[v]);
+      }
+    }
+    if (v != s) centrality[v] += delta[v];
+  }
+}
+
+}  // namespace
+
+std::vector<double> ClosenessCentralityExact(const MixedSocialNetwork& g) {
+  const size_t n = g.num_nodes();
+  std::vector<double> cc(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto dist = BfsDistances(g, u);
+    double total = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != u && dist[v] != kUnreachable) total += dist[v];
+    }
+    cc[u] = total > 0.0 ? 1.0 / total : 0.0;
+  }
+  return cc;
+}
+
+std::vector<double> ClosenessCentralitySampled(const MixedSocialNetwork& g,
+                                               size_t num_pivots,
+                                               util::Rng& rng) {
+  const size_t n = g.num_nodes();
+  std::vector<double> cc(n, 0.0);
+  if (n == 0) return cc;
+  const size_t k = std::min(num_pivots, n);
+  if (k == n) return ClosenessCentralityExact(g);
+  DD_CHECK_GT(k, 0u);
+
+  std::vector<double> dist_sum(n, 0.0);
+  std::vector<uint32_t> reach_count(n, 0);
+  for (size_t pivot_index : rng.SampleWithoutReplacement(n, k)) {
+    const auto dist = BfsDistances(g, static_cast<NodeId>(pivot_index));
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable && dist[v] > 0) {
+        dist_sum[v] += dist[v];
+        ++reach_count[v];
+      }
+    }
+  }
+  // Estimate the full distance sum as (n-1)/count-scaled partial sum, which
+  // corrects for pivots outside v's component.
+  for (NodeId v = 0; v < n; ++v) {
+    if (reach_count[v] == 0 || dist_sum[v] == 0.0) continue;
+    const double estimate =
+        dist_sum[v] * (static_cast<double>(n - 1) / reach_count[v]);
+    cc[v] = 1.0 / estimate;
+  }
+  return cc;
+}
+
+std::vector<double> BetweennessCentralityExact(const MixedSocialNetwork& g) {
+  std::vector<double> bc(g.num_nodes(), 0.0);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) BrandesAccumulate(g, s, bc);
+  return bc;
+}
+
+std::vector<double> BetweennessCentralitySampled(const MixedSocialNetwork& g,
+                                                 size_t num_pivots,
+                                                 util::Rng& rng) {
+  const size_t n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
+  const size_t k = std::min(num_pivots, n);
+  if (k == n) return BetweennessCentralityExact(g);
+  DD_CHECK_GT(k, 0u);
+
+  for (size_t pivot_index : rng.SampleWithoutReplacement(n, k)) {
+    BrandesAccumulate(g, static_cast<NodeId>(pivot_index), bc);
+  }
+  const double scale = static_cast<double>(n) / static_cast<double>(k);
+  for (double& v : bc) v *= scale;
+  return bc;
+}
+
+}  // namespace deepdirect::graph

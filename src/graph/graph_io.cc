@@ -1,0 +1,113 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace deepdirect::graph {
+
+util::Status SaveEdgeList(const MixedSocialNetwork& g,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    return util::Status::IOError("cannot open for writing: " + path);
+  }
+  WriteEdgeList(g, out);
+  out.flush();
+  if (!out.good()) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+void WriteEdgeList(const MixedSocialNetwork& g, std::ostream& out) {
+  out << "# nodes " << g.num_nodes() << "\n";
+  for (ArcId id = 0; id < g.num_arcs(); ++id) {
+    const Arc& a = g.arc(id);
+    // Emit each tie once: directed arcs are unique; twins once from the
+    // smaller endpoint.
+    if (a.type != TieType::kDirected && a.src > a.dst) continue;
+    char type_char = 'd';
+    if (a.type == TieType::kBidirectional) type_char = 'b';
+    if (a.type == TieType::kUndirected) type_char = 'u';
+    out << a.src << ' ' << a.dst << ' ' << type_char << "\n";
+  }
+}
+
+util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return util::Status::IOError("cannot open for reading: " + path);
+  }
+  return ReadEdgeList(in);
+}
+
+util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in) {
+  struct ParsedTie {
+    NodeId u, v;
+    TieType type;
+  };
+  std::vector<ParsedTie> ties;
+  size_t declared_nodes = 0;
+  bool has_declared = false;
+  NodeId max_id = 0;
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string keyword;
+      if (header >> keyword && keyword == "nodes") {
+        if (!(header >> declared_nodes)) {
+          return util::Status::InvalidArgument(
+              "malformed '# nodes' header at line " +
+              std::to_string(line_number));
+        }
+        has_declared = true;
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    long long u_raw = -1, v_raw = -1;
+    std::string type_token;
+    if (!(fields >> u_raw >> v_raw >> type_token) || u_raw < 0 || v_raw < 0) {
+      return util::Status::InvalidArgument("malformed tie at line " +
+                                           std::to_string(line_number) +
+                                           ": '" + line + "'");
+    }
+    TieType type;
+    if (type_token == "d") {
+      type = TieType::kDirected;
+    } else if (type_token == "b") {
+      type = TieType::kBidirectional;
+    } else if (type_token == "u") {
+      type = TieType::kUndirected;
+    } else {
+      return util::Status::InvalidArgument(
+          "unknown tie type '" + type_token + "' at line " +
+          std::to_string(line_number));
+    }
+    const NodeId u = static_cast<NodeId>(u_raw);
+    const NodeId v = static_cast<NodeId>(v_raw);
+    max_id = std::max({max_id, u, v});
+    ties.push_back({u, v, type});
+  }
+
+  const size_t num_nodes =
+      has_declared ? declared_nodes : (ties.empty() ? 0 : max_id + 1);
+  if (has_declared && !ties.empty() && max_id >= num_nodes) {
+    return util::Status::InvalidArgument(
+        "tie references node " + std::to_string(max_id) +
+        " beyond declared node count " + std::to_string(num_nodes));
+  }
+
+  GraphBuilder builder(num_nodes);
+  for (const ParsedTie& t : ties) {
+    DD_RETURN_NOT_OK(builder.AddTie(t.u, t.v, t.type));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace deepdirect::graph

@@ -1,0 +1,35 @@
+// Edge-list serialization for mixed social networks.
+//
+// Text format, one tie per line:
+//     <u> <v> <type>
+// where <type> is one of `d` (directed u->v), `b` (bidirectional), or
+// `u` (undirected). Lines starting with `#` and blank lines are ignored.
+// A header line `# nodes <n>` may pin the node count; otherwise it is
+// max(node id) + 1.
+
+#ifndef DEEPDIRECT_GRAPH_GRAPH_IO_H_
+#define DEEPDIRECT_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/mixed_graph.h"
+#include "util/status.h"
+
+namespace deepdirect::graph {
+
+/// Writes the network in the edge-list format to `path`.
+util::Status SaveEdgeList(const MixedSocialNetwork& g, const std::string& path);
+
+/// Writes the network in the edge-list format to a stream.
+void WriteEdgeList(const MixedSocialNetwork& g, std::ostream& out);
+
+/// Loads a network from an edge-list file.
+util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path);
+
+/// Parses a network from a stream holding the edge-list format.
+util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in);
+
+}  // namespace deepdirect::graph
+
+#endif  // DEEPDIRECT_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,231 @@
+#include "graph/mixed_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace deepdirect::graph {
+
+namespace {
+
+// Packs an unordered node pair into one key (smaller id in the high word so
+// keys are unique per pair regardless of insertion order).
+uint64_t PairKey(NodeId u, NodeId v) {
+  NodeId lo = std::min(u, v);
+  NodeId hi = std::max(u, v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::span<const ArcId> MixedSocialNetwork::OutArcs(NodeId u) const {
+  DD_CHECK_LT(u, num_nodes_);
+  const size_t begin = out_offsets_[u];
+  const size_t end = out_offsets_[u + 1];
+  if (begin == end) return {};
+  return {out_ids_.data() + begin, end - begin};
+}
+
+std::span<const ArcId> MixedSocialNetwork::InArcs(NodeId u) const {
+  DD_CHECK_LT(u, num_nodes_);
+  const size_t begin = in_offsets_[u];
+  const size_t end = in_offsets_[u + 1];
+  if (begin == end) return {};
+  return {in_adj_.data() + begin, end - begin};
+}
+
+ArcId MixedSocialNetwork::FindArc(NodeId u, NodeId v) const {
+  DD_CHECK_LT(u, num_nodes_);
+  DD_CHECK_LT(v, num_nodes_);
+  const auto span = OutArcs(u);
+  // Arcs in a span are sorted by destination; binary search on dst.
+  auto it = std::lower_bound(span.begin(), span.end(), v,
+                             [this](ArcId a, NodeId node) {
+                               return arcs_[a].dst < node;
+                             });
+  if (it != span.end() && arcs_[*it].dst == v) return *it;
+  return kInvalidArc;
+}
+
+double MixedSocialNetwork::DegOut(NodeId u) const {
+  DD_CHECK_LT(u, num_nodes_);
+  // Every undirected tie incident to u has an arc leaving u (both twins are
+  // stored), so OutArcs alone realizes Eq. 1.
+  double deg = 0.0;
+  for (ArcId a : OutArcs(u)) {
+    deg += arcs_[a].type == TieType::kUndirected ? 0.5 : 1.0;
+  }
+  return deg;
+}
+
+double MixedSocialNetwork::DegIn(NodeId u) const {
+  DD_CHECK_LT(u, num_nodes_);
+  double deg = 0.0;
+  for (ArcId a : InArcs(u)) {
+    deg += arcs_[a].type == TieType::kUndirected ? 0.5 : 1.0;
+  }
+  return deg;
+}
+
+uint32_t MixedSocialNetwork::TieDegree(ArcId e) const {
+  const Arc& a = arc(e);
+  uint32_t deg = OutArcCount(a.dst);
+  if (HasArc(a.dst, a.src)) --deg;  // exclude the return arc (v, u)
+  return deg;
+}
+
+std::vector<ArcId> MixedSocialNetwork::ConnectedTies(ArcId e) const {
+  std::vector<ArcId> out;
+  out.reserve(TieDegree(e));
+  ForEachConnectedTie(e, [&](ArcId c) { out.push_back(c); });
+  return out;
+}
+
+std::span<const NodeId> MixedSocialNetwork::UndirectedNeighbors(
+    NodeId u) const {
+  DD_CHECK_LT(u, num_nodes_);
+  const size_t begin = und_offsets_[u];
+  const size_t end = und_offsets_[u + 1];
+  if (begin == end) return {};
+  return {und_adj_.data() + begin, end - begin};
+}
+
+std::vector<NodeId> MixedSocialNetwork::CommonNeighbors(NodeId u,
+                                                        NodeId v) const {
+  const auto nu = UndirectedNeighbors(u);
+  const auto nv = UndirectedNeighbors(v);
+  std::vector<NodeId> out;
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+util::Status GraphBuilder::AddTie(NodeId u, NodeId v, TieType type) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    std::ostringstream os;
+    os << "tie (" << u << ", " << v << ") out of node range [0, "
+       << num_nodes_ << ")";
+    return util::Status::InvalidArgument(os.str());
+  }
+  if (u == v) {
+    std::ostringstream os;
+    os << "self-loop on node " << u << " is not a social tie";
+    return util::Status::InvalidArgument(os.str());
+  }
+  if (!pair_keys_.insert(PairKey(u, v)).second) {
+    std::ostringstream os;
+    os << "duplicate tie over pair {" << u << ", " << v << "}";
+    return util::Status::InvalidArgument(os.str());
+  }
+  ties_.push_back({u, v, type});
+  return util::Status::OK();
+}
+
+MixedSocialNetwork GraphBuilder::Build() && {
+  MixedSocialNetwork g;
+  g.num_nodes_ = num_nodes_;
+  g.num_ties_ = ties_.size();
+
+  // Expand ties into arcs.
+  g.arcs_.reserve(ties_.size() * 2);
+  for (const PendingTie& t : ties_) {
+    g.arcs_.push_back({t.u, t.v, t.type});
+    if (t.type != TieType::kDirected) {
+      g.arcs_.push_back({t.v, t.u, t.type});
+    }
+    switch (t.type) {
+      case TieType::kDirected:
+        ++g.num_directed_ties_;
+        break;
+      case TieType::kBidirectional:
+        ++g.num_bidirectional_ties_;
+        break;
+      case TieType::kUndirected:
+        ++g.num_undirected_ties_;
+        break;
+    }
+  }
+
+  // Canonical arc order: (src, dst).
+  std::sort(g.arcs_.begin(), g.arcs_.end(), [](const Arc& a, const Arc& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+
+  const size_t num_arcs = g.arcs_.size();
+  g.out_ids_.resize(num_arcs);
+  std::iota(g.out_ids_.begin(), g.out_ids_.end(), 0);
+
+  // Out CSR offsets.
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Arc& a : g.arcs_) ++g.out_offsets_[a.src + 1];
+  for (size_t i = 1; i <= num_nodes_; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+  }
+
+  // In CSR.
+  g.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Arc& a : g.arcs_) ++g.in_offsets_[a.dst + 1];
+  for (size_t i = 1; i <= num_nodes_; ++i) {
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.in_adj_.resize(num_arcs);
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (ArcId id = 0; id < num_arcs; ++id) {
+      g.in_adj_[cursor[g.arcs_[id].dst]++] = id;
+    }
+  }
+
+  // Twins and per-type arc lists.
+  g.twin_.assign(num_arcs, kInvalidArc);
+  for (ArcId id = 0; id < num_arcs; ++id) {
+    const Arc& a = g.arcs_[id];
+    if (a.type != TieType::kDirected) {
+      g.twin_[id] = g.FindArc(a.dst, a.src);
+      DD_CHECK_NE(g.twin_[id], kInvalidArc);
+    }
+    switch (a.type) {
+      case TieType::kDirected:
+        g.directed_arcs_.push_back(id);
+        break;
+      case TieType::kBidirectional:
+        g.bidirectional_arcs_.push_back(id);
+        break;
+      case TieType::kUndirected:
+        g.undirected_arcs_.push_back(id);
+        break;
+    }
+  }
+
+  // Undirected neighbor lists (sorted, distinct). A pair hosts at most one
+  // tie, so out-neighbors and in-neighbors can overlap only through twins;
+  // merge + dedup handles all cases uniformly.
+  g.und_offsets_.assign(num_nodes_ + 1, 0);
+  std::vector<NodeId> scratch;
+  std::vector<std::vector<NodeId>> per_node(num_nodes_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    scratch.clear();
+    for (ArcId a : g.OutArcs(u)) scratch.push_back(g.arcs_[a].dst);
+    for (ArcId a : g.InArcs(u)) scratch.push_back(g.arcs_[a].src);
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    per_node[u] = scratch;
+    g.und_offsets_[u + 1] = g.und_offsets_[u] + scratch.size();
+  }
+  g.und_adj_.reserve(g.und_offsets_[num_nodes_]);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    g.und_adj_.insert(g.und_adj_.end(), per_node[u].begin(),
+                      per_node[u].end());
+  }
+
+  // |C(G)| = Σ_e |c(e)|.
+  uint64_t pairs = 0;
+  for (ArcId id = 0; id < num_arcs; ++id) pairs += g.TieDegree(id);
+  g.num_connected_tie_pairs_ = pairs;
+
+  return g;
+}
+
+}  // namespace deepdirect::graph

@@ -1,0 +1,85 @@
+#include "graph/spring_rank.h"
+
+#include <cmath>
+
+namespace deepdirect::graph {
+
+namespace {
+
+// y = (L + αI) x for the spring Laplacian of the arc list.
+void ApplyOperator(size_t n,
+                   const std::vector<std::pair<NodeId, NodeId>>& arcs,
+                   double alpha, const std::vector<double>& x,
+                   std::vector<double>& y) {
+  for (size_t i = 0; i < n; ++i) y[i] = alpha * x[i];
+  for (const auto& [src, dst] : arcs) {
+    // Each spring contributes (s_dst − s_src − 1)²: the Laplacian part is
+    // +1 on both diagonals and −1 off-diagonal.
+    y[src] += x[src] - x[dst];
+    y[dst] += x[dst] - x[src];
+  }
+}
+
+}  // namespace
+
+std::vector<double> SolveSpringSystem(
+    size_t n, const std::vector<std::pair<NodeId, NodeId>>& arcs,
+    const SpringRankConfig& config) {
+  DD_CHECK_GT(n, 0u);
+  DD_CHECK_GT(config.alpha, 0.0);
+
+  // Right-hand side: ∂H/∂s_i = 0 gives b_i = in(i) − out(i).
+  std::vector<double> b(n, 0.0);
+  for (const auto& [src, dst] : arcs) {
+    b[dst] += 1.0;
+    b[src] -= 1.0;
+  }
+
+  // Conjugate gradients on the symmetric positive-definite system.
+  std::vector<double> s(n, 0.0);          // solution
+  std::vector<double> residual = b;       // r = b − A·0
+  std::vector<double> direction = residual;
+  std::vector<double> operator_out(n, 0.0);
+
+  double residual_norm_sq = 0.0;
+  for (double r : residual) residual_norm_sq += r * r;
+  const double threshold =
+      config.tolerance * config.tolerance * std::max(residual_norm_sq, 1.0);
+
+  for (size_t iteration = 0;
+       iteration < config.max_iterations && residual_norm_sq > threshold;
+       ++iteration) {
+    ApplyOperator(n, arcs, config.alpha, direction, operator_out);
+    double direction_energy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      direction_energy += direction[i] * operator_out[i];
+    }
+    if (direction_energy <= 0.0) break;  // numerical safety
+    const double step = residual_norm_sq / direction_energy;
+    double next_residual_norm_sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      s[i] += step * direction[i];
+      residual[i] -= step * operator_out[i];
+      next_residual_norm_sq += residual[i] * residual[i];
+    }
+    const double ratio = next_residual_norm_sq / residual_norm_sq;
+    for (size_t i = 0; i < n; ++i) {
+      direction[i] = residual[i] + ratio * direction[i];
+    }
+    residual_norm_sq = next_residual_norm_sq;
+  }
+  return s;
+}
+
+std::vector<double> SpringRank(const MixedSocialNetwork& g,
+                               const SpringRankConfig& config) {
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(g.directed_arcs().size());
+  for (ArcId id : g.directed_arcs()) {
+    const Arc& arc = g.arc(id);
+    arcs.emplace_back(arc.src, arc.dst);
+  }
+  return SolveSpringSystem(g.num_nodes(), arcs, config);
+}
+
+}  // namespace deepdirect::graph

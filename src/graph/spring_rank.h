@@ -1,0 +1,48 @@
+// SpringRank (De Bacco, Larremore & Moore, Sci. Adv. 2018): infers a
+// real-valued hierarchy score per node from directed interactions by
+// modeling each directed tie i -> j as a spring that prefers
+// s_j = s_i + 1. The scores minimize
+//     H(s) = ½ Σ_{i->j} (s_j − s_i − 1)² + ½ α Σ_i s_i²,
+// whose stationarity condition is the sparse linear system
+//     (L + αI) s = b,   L = D_out + D_in − (A + Aᵀ),
+//     b_i = deg_out... (here: b_i = in(i) − out(i) in our orientation).
+//
+// Status theory (paper Sec. 4.4, [34]) says social ties point from lower
+// to higher status — SpringRank recovers exactly that latent status from
+// the labeled directed ties, giving a principled status-comparison
+// baseline for the TDL problem (core/spring_rank_model.h).
+
+#ifndef DEEPDIRECT_GRAPH_SPRING_RANK_H_
+#define DEEPDIRECT_GRAPH_SPRING_RANK_H_
+
+#include <vector>
+
+#include "graph/mixed_graph.h"
+
+namespace deepdirect::graph {
+
+/// SpringRank parameters.
+struct SpringRankConfig {
+  /// Ridge term keeping the system positive definite (and the scores
+  /// anchored near zero).
+  double alpha = 0.1;
+  size_t max_iterations = 500;
+  double tolerance = 1e-8;
+};
+
+/// Solves SpringRank over the *directed* ties of `g` (bidirectional ties
+/// contribute both directions and thus cancel; undirected ties are
+/// ignored). Returns one score per node; higher = higher status.
+std::vector<double> SpringRank(const MixedSocialNetwork& g,
+                               const SpringRankConfig& config);
+
+/// Conjugate-gradient solve of (L + αI)s = b for the spring Laplacian
+/// implied by the directed arc list. Exposed for tests.
+/// `arcs` holds (src, dst) pairs; n is the node count.
+std::vector<double> SolveSpringSystem(
+    size_t n, const std::vector<std::pair<NodeId, NodeId>>& arcs,
+    const SpringRankConfig& config);
+
+}  // namespace deepdirect::graph
+
+#endif  // DEEPDIRECT_GRAPH_SPRING_RANK_H_

@@ -1,0 +1,82 @@
+#include "graph/triads.h"
+
+#include <algorithm>
+
+namespace deepdirect::graph {
+
+TieRelation ClassifyRelation(const MixedSocialNetwork& g, NodeId w, NodeId x) {
+  const ArcId forward = g.FindArc(w, x);
+  if (forward != kInvalidArc) {
+    switch (g.arc(forward).type) {
+      case TieType::kDirected:
+        return TieRelation::kForward;
+      case TieType::kBidirectional:
+        return TieRelation::kBoth;
+      case TieType::kUndirected:
+        return TieRelation::kUnknown;
+    }
+  }
+  const ArcId backward = g.FindArc(x, w);
+  DD_CHECK_MSG(backward != kInvalidArc,
+               "no tie between " << w << " and " << x);
+  // Only a directed tie x -> w lacks the forward arc.
+  DD_CHECK(g.arc(backward).type == TieType::kDirected);
+  return TieRelation::kBackward;
+}
+
+size_t TriadTypeIndex(TieRelation wu, TieRelation wv) {
+  return static_cast<size_t>(wu) * 4 + static_cast<size_t>(wv);
+}
+
+std::array<uint32_t, kNumTriadTypes> DirectedTriadCounts(
+    const MixedSocialNetwork& g, NodeId u, NodeId v) {
+  std::array<uint32_t, kNumTriadTypes> counts{};
+  for (NodeId w : g.CommonNeighbors(u, v)) {
+    if (w == u || w == v) continue;
+    const TieRelation wu = ClassifyRelation(g, w, u);
+    const TieRelation wv = ClassifyRelation(g, w, v);
+    ++counts[TriadTypeIndex(wu, wv)];
+  }
+  return counts;
+}
+
+uint64_t CountTriangles(const MixedSocialNetwork& g) {
+  // Forward counting: each triangle {a < b < c} is counted once by scanning
+  // b's higher neighbors from a's adjacency.
+  uint64_t triangles = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nu = g.UndirectedNeighbors(u);
+    for (NodeId v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.UndirectedNeighbors(v);
+      // Count common neighbors w with w > v (so u < v < w counted once).
+      auto it_u = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto it_v = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (it_u != nu.end() && it_v != nv.end()) {
+        if (*it_u < *it_v) {
+          ++it_u;
+        } else if (*it_v < *it_u) {
+          ++it_v;
+        } else {
+          ++triangles;
+          ++it_u;
+          ++it_v;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const MixedSocialNetwork& g) {
+  uint64_t triples = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const uint64_t d = g.UndirectedDegree(u);
+    triples += d * (d - 1) / 2;
+  }
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(triples);
+}
+
+}  // namespace deepdirect::graph

@@ -1,0 +1,54 @@
+// Directed triad census for social ties (Sec. 3.1, "Directed triad count").
+//
+// For a tie (u, v) and a common neighbor w, the two ties (w, u) and (w, v)
+// each fall into one of four relation categories, yielding 4 × 4 = 16 triad
+// types. ee_i(u, v) counts the triads of type i over all common neighbors.
+// The direction of (u, v) itself is deliberately ignored (it may be
+// unknown), per the paper.
+
+#ifndef DEEPDIRECT_GRAPH_TRIADS_H_
+#define DEEPDIRECT_GRAPH_TRIADS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "graph/mixed_graph.h"
+
+namespace deepdirect::graph {
+
+/// The relation category of the tie between `w` and `x`, from w's viewpoint.
+enum class TieRelation : uint8_t {
+  kForward = 0,   ///< directed tie w -> x
+  kBackward = 1,  ///< directed tie x -> w
+  kBoth = 2,      ///< bidirectional tie
+  kUnknown = 3,   ///< undirected tie (direction unknown)
+};
+
+/// Number of triad types = |TieRelation|^2.
+inline constexpr size_t kNumTriadTypes = 16;
+
+/// Classifies the tie between w and x. Both a tie w->x and/or x->w may
+/// exist as arcs; exactly one tie exists per pair by construction.
+/// Precondition: some tie exists between w and x.
+TieRelation ClassifyRelation(const MixedSocialNetwork& g, NodeId w, NodeId x);
+
+/// Triad type index for common neighbor w of tie (u, v):
+/// 4 * relation(w, u) + relation(w, v), in [0, 16).
+size_t TriadTypeIndex(TieRelation wu, TieRelation wv);
+
+/// Counts the 16 directed triad types over all common neighbors of u and v.
+/// This is the ee_i(u, v) feature vector of Table 1.
+std::array<uint32_t, kNumTriadTypes> DirectedTriadCounts(
+    const MixedSocialNetwork& g, NodeId u, NodeId v);
+
+/// Total number of triangles in the undirected view (each triangle counted
+/// once). Used by dataset statistics and generator validation.
+uint64_t CountTriangles(const MixedSocialNetwork& g);
+
+/// Global clustering coefficient of the undirected view:
+/// 3·triangles / number of connected node triples.
+double GlobalClusteringCoefficient(const MixedSocialNetwork& g);
+
+}  // namespace deepdirect::graph
+
+#endif  // DEEPDIRECT_GRAPH_TRIADS_H_

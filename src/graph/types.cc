@@ -1,0 +1,25 @@
+#include "graph/types.h"
+
+#include <sstream>
+
+namespace deepdirect::graph {
+
+const char* TieTypeToString(TieType type) {
+  switch (type) {
+    case TieType::kDirected:
+      return "directed";
+    case TieType::kBidirectional:
+      return "bidirectional";
+    case TieType::kUndirected:
+      return "undirected";
+  }
+  return "unknown";
+}
+
+std::string ArcToString(const Arc& arc) {
+  std::ostringstream os;
+  os << arc.src << "->" << arc.dst << "[" << TieTypeToString(arc.type) << "]";
+  return os.str();
+}
+
+}  // namespace deepdirect::graph

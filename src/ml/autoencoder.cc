@@ -1,0 +1,174 @@
+#include "ml/autoencoder.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/matrix.h"
+#include "util/check.h"
+
+namespace deepdirect::ml {
+
+DenseLayer::DenseLayer(size_t in_dims, size_t out_dims, util::Rng& rng)
+    : in_dims_(in_dims),
+      out_dims_(out_dims),
+      weights_(in_dims * out_dims),
+      bias_(out_dims, 0.0) {
+  DD_CHECK_GT(in_dims, 0u);
+  DD_CHECK_GT(out_dims, 0u);
+  const double scale =
+      std::sqrt(6.0 / static_cast<double>(in_dims + out_dims));
+  for (double& w : weights_) w = rng.NextDoubleIn(-scale, scale);
+}
+
+void DenseLayer::Forward(std::span<const double> in,
+                         std::span<double> out) const {
+  DD_CHECK_EQ(in.size(), in_dims_);
+  DD_CHECK_EQ(out.size(), out_dims_);
+  for (size_t o = 0; o < out_dims_; ++o) {
+    const double* row = weights_.data() + o * in_dims_;
+    double z = bias_[o];
+    for (size_t i = 0; i < in_dims_; ++i) z += row[i] * in[i];
+    out[o] = Sigmoid(z);
+  }
+}
+
+void DenseLayer::Backward(std::span<const double> in,
+                          std::span<const double> out,
+                          std::span<const double> delta_out,
+                          std::span<double> delta_in, double lr, double l2) {
+  DD_CHECK_EQ(in.size(), in_dims_);
+  DD_CHECK_EQ(out.size(), out_dims_);
+  DD_CHECK_EQ(delta_out.size(), out_dims_);
+  if (!delta_in.empty()) {
+    DD_CHECK_EQ(delta_in.size(), in_dims_);
+    std::fill(delta_in.begin(), delta_in.end(), 0.0);
+  }
+  for (size_t o = 0; o < out_dims_; ++o) {
+    // dLoss/dz through the sigmoid.
+    const double dz = delta_out[o] * out[o] * (1.0 - out[o]);
+    if (dz == 0.0 && l2 == 0.0) continue;
+    double* row = weights_.data() + o * in_dims_;
+    for (size_t i = 0; i < in_dims_; ++i) {
+      if (!delta_in.empty()) delta_in[i] += dz * row[i];
+      row[i] -= lr * (dz * in[i] + l2 * row[i]);
+    }
+    bias_[o] -= lr * dz;
+  }
+}
+
+Autoencoder::Autoencoder(size_t input_dims, const AutoencoderConfig& config)
+    : input_dims_(input_dims) {
+  DD_CHECK_GT(input_dims, 0u);
+  DD_CHECK(!config.encoder_dims.empty());
+  util::Rng rng(config.seed);
+
+  std::vector<size_t> dims;
+  dims.push_back(input_dims);
+  for (size_t d : config.encoder_dims) dims.push_back(d);
+  encoder_layers_ = config.encoder_dims.size();
+  code_dims_ = config.encoder_dims.back();
+
+  // Encoder.
+  for (size_t layer = 0; layer < encoder_layers_; ++layer) {
+    layers_.emplace_back(dims[layer], dims[layer + 1], rng);
+  }
+  // Mirrored decoder.
+  for (size_t layer = encoder_layers_; layer > 0; --layer) {
+    layers_.emplace_back(dims[layer], dims[layer - 1], rng);
+  }
+}
+
+void Autoencoder::ForwardAll(
+    std::span<const double> input,
+    std::vector<std::vector<double>>& activations) const {
+  DD_CHECK_EQ(input.size(), input_dims_);
+  activations.resize(layers_.size() + 1);
+  activations[0].assign(input.begin(), input.end());
+  for (size_t layer = 0; layer < layers_.size(); ++layer) {
+    activations[layer + 1].resize(layers_[layer].out_dims());
+    layers_[layer].Forward(activations[layer], activations[layer + 1]);
+  }
+}
+
+void Autoencoder::Encode(std::span<const double> input,
+                         std::span<double> code) const {
+  DD_CHECK_EQ(code.size(), code_dims_);
+  std::vector<double> current(input.begin(), input.end());
+  std::vector<double> next;
+  for (size_t layer = 0; layer < encoder_layers_; ++layer) {
+    next.resize(layers_[layer].out_dims());
+    layers_[layer].Forward(current, next);
+    current.swap(next);
+  }
+  std::copy(current.begin(), current.end(), code.begin());
+}
+
+void Autoencoder::Reconstruct(std::span<const double> input,
+                              std::span<double> output) const {
+  DD_CHECK_EQ(output.size(), input_dims_);
+  std::vector<std::vector<double>> activations;
+  ForwardAll(input, activations);
+  std::copy(activations.back().begin(), activations.back().end(),
+            output.begin());
+}
+
+double Autoencoder::Train(const std::vector<std::vector<double>>& rows,
+                          const AutoencoderConfig& config) {
+  if (rows.empty()) return 0.0;
+  for (const auto& row : rows) DD_CHECK_EQ(row.size(), input_dims_);
+
+  util::Rng rng(config.seed ^ 0x5bd1e995u);
+  std::vector<size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<std::vector<double>> activations;
+  std::vector<std::vector<double>> deltas(layers_.size() + 1);
+  const uint64_t total_steps =
+      static_cast<uint64_t>(config.epochs) * rows.size();
+  uint64_t step = 0;
+  double last_epoch_error = 0.0;
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_error = 0.0;
+    for (size_t index : order) {
+      const double progress =
+          static_cast<double>(step) / static_cast<double>(total_steps);
+      const double lr =
+          config.learning_rate *
+          (1.0 - (1.0 - config.min_lr_fraction) * progress);
+      ++step;
+
+      const auto& x = rows[index];
+      ForwardAll(x, activations);
+
+      // Output delta: β-weighted squared reconstruction error.
+      auto& out_delta = deltas[layers_.size()];
+      out_delta.resize(input_dims_);
+      const auto& reconstruction = activations.back();
+      double error = 0.0;
+      for (size_t i = 0; i < input_dims_; ++i) {
+        const double weight =
+            x[i] != 0.0 ? config.nonzero_weight : 1.0;
+        const double diff = reconstruction[i] - x[i];
+        out_delta[i] = 2.0 * weight * diff;
+        error += weight * diff * diff;
+      }
+      epoch_error += error / static_cast<double>(input_dims_);
+
+      // Backprop through all layers.
+      for (size_t layer = layers_.size(); layer > 0; --layer) {
+        auto& delta_in = deltas[layer - 1];
+        delta_in.resize(layers_[layer - 1].in_dims());
+        layers_[layer - 1].Backward(
+            activations[layer - 1], activations[layer], deltas[layer],
+            layer > 1 ? std::span<double>(delta_in) : std::span<double>(),
+            lr, config.l2);
+      }
+    }
+    last_epoch_error = epoch_error / static_cast<double>(rows.size());
+  }
+  return last_epoch_error;
+}
+
+}  // namespace deepdirect::ml

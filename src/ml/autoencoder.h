@@ -1,0 +1,99 @@
+// A small dense autoencoder with SDNE-style reconstruction weighting
+// (Wang, Cui & Zhu, KDD 2016): reconstruct each input vector with
+// non-zero entries over-weighted by a factor β (so the model cannot win by
+// predicting all-zeros on sparse inputs), optionally with a first-order
+// "Laplacian" pull that draws the codes of related inputs together.
+//
+// Implemented from scratch: sigmoid dense layers with manual
+// backpropagation and SGD. Sized for the adjacency-row inputs of the
+// graph-embedding use case (thousands of dims, hundreds of thousands of
+// parameters) — not a general deep-learning framework.
+
+#ifndef DEEPDIRECT_ML_AUTOENCODER_H_
+#define DEEPDIRECT_ML_AUTOENCODER_H_
+
+#include <span>
+#include <vector>
+
+#include "util/random.h"
+
+namespace deepdirect::ml {
+
+/// One fully-connected layer with sigmoid activation.
+class DenseLayer {
+ public:
+  /// Xavier-initialized layer of shape in_dims → out_dims.
+  DenseLayer(size_t in_dims, size_t out_dims, util::Rng& rng);
+
+  size_t in_dims() const { return in_dims_; }
+  size_t out_dims() const { return out_dims_; }
+
+  /// Forward pass: out = sigmoid(W·in + b). `out` must have out_dims().
+  void Forward(std::span<const double> in, std::span<double> out) const;
+
+  /// Backward pass for one example. `delta_out` holds dLoss/d(activation);
+  /// computes dLoss/d(input) into `delta_in` (may be empty to skip) and
+  /// applies the SGD update with rate `lr` and weight decay `l2`.
+  /// `in` and `out` must be the forward values for this example.
+  void Backward(std::span<const double> in, std::span<const double> out,
+                std::span<const double> delta_out,
+                std::span<double> delta_in, double lr, double l2);
+
+ private:
+  size_t in_dims_, out_dims_;
+  std::vector<double> weights_;  // out_dims × in_dims, row-major
+  std::vector<double> bias_;     // out_dims
+};
+
+/// Autoencoder training parameters.
+struct AutoencoderConfig {
+  /// Hidden layer widths of the encoder, ending in the code width; the
+  /// decoder mirrors them. E.g. {256, 64} encodes input → 256 → 64.
+  std::vector<size_t> encoder_dims{256, 64};
+  size_t epochs = 5;
+  double learning_rate = 0.05;
+  double min_lr_fraction = 0.1;
+  double l2 = 1e-5;
+  /// Over-weighting of non-zero input entries in the reconstruction loss
+  /// (SDNE's β; 1 disables).
+  double nonzero_weight = 10.0;
+  uint64_t seed = 63;
+};
+
+/// Dense autoencoder with tied architecture (not tied weights).
+class Autoencoder {
+ public:
+  /// Builds encoder input_dims → dims[0] → … → dims.back() and the
+  /// mirrored decoder.
+  Autoencoder(size_t input_dims, const AutoencoderConfig& config);
+
+  size_t input_dims() const { return input_dims_; }
+  size_t code_dims() const { return code_dims_; }
+
+  /// Encodes one input vector into `code` (code_dims()).
+  void Encode(std::span<const double> input, std::span<double> code) const;
+
+  /// Full forward pass; returns the reconstruction into `output`.
+  void Reconstruct(std::span<const double> input,
+                   std::span<double> output) const;
+
+  /// Trains on the given row-major dataset (rows of length input_dims()).
+  /// Returns the final epoch's mean weighted reconstruction error.
+  double Train(const std::vector<std::vector<double>>& rows,
+               const AutoencoderConfig& config);
+
+ private:
+  // Runs all layers, storing every activation in `activations` (layer
+  // count + 1 entries, [0] = input copy).
+  void ForwardAll(std::span<const double> input,
+                  std::vector<std::vector<double>>& activations) const;
+
+  size_t input_dims_;
+  size_t code_dims_;
+  size_t encoder_layers_;
+  std::vector<DenseLayer> layers_;  // encoder then decoder
+};
+
+}  // namespace deepdirect::ml
+
+#endif  // DEEPDIRECT_ML_AUTOENCODER_H_

@@ -1,0 +1,66 @@
+// Flat row-major dataset of double features with binary (possibly soft)
+// labels and per-example weights — the training currency of the logistic
+// regression and MLP heads.
+
+#ifndef DEEPDIRECT_ML_DATASET_H_
+#define DEEPDIRECT_ML_DATASET_H_
+
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace deepdirect::ml {
+
+/// A dense supervised dataset. Labels are in [0, 1] (soft labels allowed,
+/// e.g. the pattern pseudo-labels of Sec. 4.4); weights default to 1.
+class Dataset {
+ public:
+  /// Creates an empty dataset with `num_features` columns.
+  explicit Dataset(size_t num_features) : num_features_(num_features) {}
+
+  size_t num_features() const { return num_features_; }
+  size_t size() const { return labels_.size(); }
+
+  /// Appends one example. `features` must have num_features() entries.
+  void Add(std::span<const double> features, double label,
+           double weight = 1.0) {
+    DD_CHECK_EQ(features.size(), num_features_);
+    DD_CHECK_GE(label, 0.0);
+    DD_CHECK_LE(label, 1.0);
+    values_.insert(values_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+    weights_.push_back(weight);
+  }
+
+  /// Feature row of example `i`.
+  std::span<const double> Row(size_t i) const {
+    DD_CHECK_LT(i, size());
+    return {values_.data() + i * num_features_, num_features_};
+  }
+
+  /// Mutable feature row (used by the scaler).
+  std::span<double> MutableRow(size_t i) {
+    DD_CHECK_LT(i, size());
+    return {values_.data() + i * num_features_, num_features_};
+  }
+
+  double Label(size_t i) const {
+    DD_CHECK_LT(i, size());
+    return labels_[i];
+  }
+  double Weight(size_t i) const {
+    DD_CHECK_LT(i, size());
+    return weights_[i];
+  }
+
+ private:
+  size_t num_features_;
+  std::vector<double> values_;
+  std::vector<double> labels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace deepdirect::ml
+
+#endif  // DEEPDIRECT_ML_DATASET_H_

@@ -1,0 +1,186 @@
+#include "ml/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace deepdirect::ml {
+
+DMatrix MatMul(const DMatrix& a, const DMatrix& b) {
+  DD_CHECK_EQ(a.cols, b.rows);
+  DMatrix c(a.rows, b.cols);
+  for (size_t i = 0; i < a.rows; ++i) {
+    for (size_t k = 0; k < a.cols; ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      const double* b_row = b.values.data() + k * b.cols;
+      double* c_row = c.values.data() + i * c.cols;
+      for (size_t j = 0; j < b.cols; ++j) c_row[j] += aik * b_row[j];
+    }
+  }
+  return c;
+}
+
+DMatrix MatMulTransposedA(const DMatrix& a, const DMatrix& b) {
+  DD_CHECK_EQ(a.rows, b.rows);
+  DMatrix c(a.cols, b.cols);
+  for (size_t k = 0; k < a.rows; ++k) {
+    const double* a_row = a.values.data() + k * a.cols;
+    const double* b_row = b.values.data() + k * b.cols;
+    for (size_t i = 0; i < a.cols; ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* c_row = c.values.data() + i * c.cols;
+      for (size_t j = 0; j < b.cols; ++j) c_row[j] += aki * b_row[j];
+    }
+  }
+  return c;
+}
+
+void OrthonormalizeColumns(DMatrix& m) {
+  for (size_t col = 0; col < m.cols; ++col) {
+    // Subtract projections onto all previous columns (modified GS).
+    for (size_t prev = 0; prev < col; ++prev) {
+      double dot = 0.0;
+      for (size_t i = 0; i < m.rows; ++i) {
+        dot += m.At(i, col) * m.At(i, prev);
+      }
+      for (size_t i = 0; i < m.rows; ++i) {
+        m.At(i, col) -= dot * m.At(i, prev);
+      }
+    }
+    double norm_sq = 0.0;
+    for (size_t i = 0; i < m.rows; ++i) {
+      norm_sq += m.At(i, col) * m.At(i, col);
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm < 1e-12) {
+      for (size_t i = 0; i < m.rows; ++i) m.At(i, col) = 0.0;
+      continue;
+    }
+    for (size_t i = 0; i < m.rows; ++i) m.At(i, col) /= norm;
+  }
+}
+
+void SymmetricEigen(const DMatrix& symmetric,
+                    std::vector<double>* eigenvalues, DMatrix* eigenvectors,
+                    size_t max_sweeps) {
+  DD_CHECK_EQ(symmetric.rows, symmetric.cols);
+  const size_t n = symmetric.rows;
+  DMatrix a = symmetric;           // working copy, diagonalized in place
+  DMatrix v(n, n);                 // accumulated rotations
+  for (size_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off_diagonal = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        off_diagonal += a.At(p, q) * a.At(p, q);
+      }
+    }
+    if (off_diagonal < 1e-20) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate rotation into V.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&a](size_t x, size_t y) {
+    return a.At(x, x) > a.At(y, y);
+  });
+  eigenvalues->resize(n);
+  *eigenvectors = DMatrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    (*eigenvalues)[j] = a.At(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      eigenvectors->At(i, j) = v.At(i, order[j]);
+    }
+  }
+}
+
+DMatrix TruncatedSvdFactor(const DMatrix& m, size_t rank, size_t oversample,
+                           size_t power_iterations, util::Rng& rng) {
+  DD_CHECK_GT(rank, 0u);
+  const size_t probes = std::min(m.cols, rank + oversample);
+  DD_CHECK_GE(probes, rank);
+
+  // Range finder: Q = orth((M Mᵀ)^p · M · Ω).
+  DMatrix omega(m.cols, probes);
+  for (double& value : omega.values) value = rng.NextGaussian();
+  DMatrix y = MatMul(m, omega);  // rows × probes
+  OrthonormalizeColumns(y);
+  for (size_t iter = 0; iter < power_iterations; ++iter) {
+    DMatrix z = MatMulTransposedA(m, y);  // cols × probes
+    OrthonormalizeColumns(z);
+    y = MatMul(m, z);
+    OrthonormalizeColumns(y);
+  }
+
+  // B = Qᵀ M (probes × cols); eigen of B Bᵀ gives the singular structure.
+  DMatrix b = MatMulTransposedA(y, m);
+  DMatrix bbt(probes, probes);
+  for (size_t i = 0; i < probes; ++i) {
+    for (size_t j = i; j < probes; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < b.cols; ++k) dot += b.At(i, k) * b.At(j, k);
+      bbt.At(i, j) = dot;
+      bbt.At(j, i) = dot;
+    }
+  }
+  std::vector<double> eigenvalues;
+  DMatrix eigenvectors;
+  SymmetricEigen(bbt, &eigenvalues, &eigenvectors);
+
+  // U_k = Q · W_k; factor = U_k · Σ_k^{1/2}, σ_j = sqrt(λ_j).
+  DMatrix factor(m.rows, rank);
+  for (size_t j = 0; j < rank; ++j) {
+    const double sigma = std::sqrt(std::max(eigenvalues[j], 0.0));
+    const double scale = std::sqrt(sigma);
+    for (size_t i = 0; i < m.rows; ++i) {
+      double u = 0.0;
+      for (size_t k = 0; k < probes; ++k) {
+        u += y.At(i, k) * eigenvectors.At(k, j);
+      }
+      factor.At(i, j) = u * scale;
+    }
+  }
+  return factor;
+}
+
+}  // namespace deepdirect::ml

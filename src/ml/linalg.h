@@ -1,0 +1,58 @@
+// Small dense linear-algebra kernels: matrix multiply, thin QR
+// (modified Gram-Schmidt), a Jacobi eigensolver for small symmetric
+// matrices, and randomized truncated SVD built from the three.
+//
+// Sized for the GraRep use case (dense n×n with n in the low thousands,
+// target rank tens); not a general-purpose BLAS.
+
+#ifndef DEEPDIRECT_ML_LINALG_H_
+#define DEEPDIRECT_ML_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace deepdirect::ml {
+
+/// Row-major double matrix view helpers operate on flat vectors; `rows`
+/// and `cols` describe the shape.
+struct DMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> values;
+
+  DMatrix() = default;
+  DMatrix(size_t r, size_t c) : rows(r), cols(c), values(r * c, 0.0) {}
+
+  double& At(size_t i, size_t j) { return values[i * cols + j]; }
+  double At(size_t i, size_t j) const { return values[i * cols + j]; }
+};
+
+/// C = A · B.
+DMatrix MatMul(const DMatrix& a, const DMatrix& b);
+
+/// C = Aᵀ · B.
+DMatrix MatMulTransposedA(const DMatrix& a, const DMatrix& b);
+
+/// In-place thin QR by modified Gram-Schmidt: orthonormalizes the columns
+/// of `m` (rows × cols, rows ≥ cols). Near-dependent columns are replaced
+/// with zeros.
+void OrthonormalizeColumns(DMatrix& m);
+
+/// Jacobi eigendecomposition of a small symmetric matrix. Returns
+/// eigenvalues (descending) and the matching eigenvectors as the columns
+/// of `eigenvectors`.
+void SymmetricEigen(const DMatrix& symmetric, std::vector<double>* eigenvalues,
+                    DMatrix* eigenvectors, size_t max_sweeps = 50);
+
+/// Randomized truncated SVD (Halko-Martinsson-Tropp): returns U_k·Σ_k^{1/2}
+/// — the factor embedding GraRep uses — for the top `rank` singular
+/// directions of `m`, using `oversample` extra probe columns and
+/// `power_iterations` subspace-power refinements.
+DMatrix TruncatedSvdFactor(const DMatrix& m, size_t rank, size_t oversample,
+                           size_t power_iterations, util::Rng& rng);
+
+}  // namespace deepdirect::ml
+
+#endif  // DEEPDIRECT_ML_LINALG_H_

@@ -1,0 +1,74 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/matrix.h"
+
+namespace deepdirect::ml {
+
+double LogisticRegression::Score(std::span<const double> features) const {
+  DD_CHECK_EQ(features.size(), weights_.size());
+  double score = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    score += weights_[j] * features[j];
+  }
+  return score;
+}
+
+double LogisticRegression::Predict(std::span<const double> features) const {
+  return Sigmoid(Score(features));
+}
+
+double LogisticRegression::Train(const Dataset& data,
+                                 const LogisticRegressionConfig& config) {
+  DD_CHECK_EQ(data.num_features(), weights_.size());
+  if (data.size() == 0) return 0.0;
+
+  util::Rng rng(config.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const size_t total_steps = config.epochs * data.size();
+  size_t step = 0;
+  double last_epoch_loss = 0.0;
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    double weight_total = 0.0;
+    for (size_t i : order) {
+      const double progress =
+          static_cast<double>(step) / static_cast<double>(total_steps);
+      const double lr =
+          config.learning_rate *
+          (1.0 - (1.0 - config.min_lr_fraction) * progress);
+      ++step;
+
+      const auto x = data.Row(i);
+      const double y = data.Label(i);
+      const double sample_weight = data.Weight(i);
+      const double p = Predict(x);
+      // Gradient of weighted cross-entropy wrt score is weight * (p - y).
+      const double gradient = sample_weight * (p - y);
+
+      for (size_t j = 0; j < weights_.size(); ++j) {
+        weights_[j] -= lr * (gradient * x[j] + config.l2 * weights_[j]);
+      }
+      bias_ -= lr * gradient;
+
+      const double eps = 1e-12;
+      epoch_loss -= sample_weight * (y * std::log(p + eps) +
+                                     (1.0 - y) * std::log(1.0 - p + eps));
+      weight_total += sample_weight;
+    }
+    double l2_term = 0.0;
+    for (double w : weights_) l2_term += w * w;
+    last_epoch_loss =
+        (weight_total > 0 ? epoch_loss / weight_total : 0.0) +
+        0.5 * config.l2 * l2_term;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace deepdirect::ml

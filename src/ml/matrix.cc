@@ -1,0 +1,54 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace deepdirect::ml {
+
+void Matrix::FillUniform(util::Rng& rng, float lo, float hi) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.NextDoubleIn(lo, hi));
+  }
+}
+
+void Matrix::FillZero() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  DD_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+void Axpy(double alpha, std::span<const float> x, std::span<float> y) {
+  DD_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] += static_cast<float>(alpha * static_cast<double>(x[i]));
+  }
+}
+
+double Norm2(std::span<const float> a) {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogSigmoid(double x) {
+  // log(1/(1+e^-x)) = -log1p(e^-x) for x >= 0; x - log1p(e^x) otherwise.
+  if (x >= 0.0) return -std::log1p(std::exp(-x));
+  return x - std::log1p(std::exp(x));
+}
+
+}  // namespace deepdirect::ml

@@ -1,0 +1,105 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/matrix.h"
+
+namespace deepdirect::ml {
+
+MlpClassifier::MlpClassifier(size_t num_features, size_t hidden_units,
+                             uint64_t seed)
+    : num_features_(num_features),
+      hidden_units_(hidden_units),
+      w1_(hidden_units * num_features, 0.0),
+      b1_(hidden_units, 0.0),
+      w2_(hidden_units, 0.0) {
+  DD_CHECK_GT(num_features, 0u);
+  DD_CHECK_GT(hidden_units, 0u);
+  util::Rng rng(seed);
+  const double he_scale = std::sqrt(2.0 / static_cast<double>(num_features));
+  for (double& w : w1_) w = rng.NextGaussian() * he_scale;
+  const double out_scale = std::sqrt(1.0 / static_cast<double>(hidden_units));
+  for (double& w : w2_) w = rng.NextGaussian() * out_scale;
+}
+
+double MlpClassifier::Forward(std::span<const double> x,
+                              std::vector<double>& hidden) const {
+  DD_CHECK_EQ(x.size(), num_features_);
+  hidden.resize(hidden_units_);
+  double score = b2_;
+  for (size_t h = 0; h < hidden_units_; ++h) {
+    double z = b1_[h];
+    const double* row = w1_.data() + h * num_features_;
+    for (size_t j = 0; j < num_features_; ++j) z += row[j] * x[j];
+    hidden[h] = z;
+    if (z > 0.0) score += w2_[h] * z;  // ReLU
+  }
+  return score;
+}
+
+double MlpClassifier::Predict(std::span<const double> features) const {
+  std::vector<double> hidden;
+  return Sigmoid(Forward(features, hidden));
+}
+
+double MlpClassifier::Train(const Dataset& data, const MlpConfig& config) {
+  DD_CHECK_EQ(data.num_features(), num_features_);
+  if (data.size() == 0) return 0.0;
+
+  util::Rng rng(config.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const size_t total_steps = config.epochs * data.size();
+  size_t step = 0;
+  double last_epoch_loss = 0.0;
+  std::vector<double> hidden;
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    double weight_total = 0.0;
+    for (size_t i : order) {
+      const double progress =
+          static_cast<double>(step) / static_cast<double>(total_steps);
+      const double lr =
+          config.learning_rate *
+          (1.0 - (1.0 - config.min_lr_fraction) * progress);
+      ++step;
+
+      const auto x = data.Row(i);
+      const double y = data.Label(i);
+      const double sample_weight = data.Weight(i);
+      const double score = Forward(x, hidden);
+      const double p = Sigmoid(score);
+      const double delta_out = sample_weight * (p - y);
+
+      // Backprop. Output layer first (uses pre-update hidden activations).
+      for (size_t h = 0; h < hidden_units_; ++h) {
+        const double activation = hidden[h] > 0.0 ? hidden[h] : 0.0;
+        const double grad_w2 = delta_out * activation + config.l2 * w2_[h];
+        const double delta_hidden =
+            hidden[h] > 0.0 ? delta_out * w2_[h] : 0.0;
+        w2_[h] -= lr * grad_w2;
+        if (delta_hidden != 0.0) {
+          double* row = w1_.data() + h * num_features_;
+          for (size_t j = 0; j < num_features_; ++j) {
+            row[j] -= lr * (delta_hidden * x[j] + config.l2 * row[j]);
+          }
+          b1_[h] -= lr * delta_hidden;
+        }
+      }
+      b2_ -= lr * delta_out;
+
+      const double eps = 1e-12;
+      epoch_loss -= sample_weight * (y * std::log(p + eps) +
+                                     (1.0 - y) * std::log(1.0 - p + eps));
+      weight_total += sample_weight;
+    }
+    last_epoch_loss = weight_total > 0 ? epoch_loss / weight_total : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace deepdirect::ml

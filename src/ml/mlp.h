@@ -1,0 +1,58 @@
+// One-hidden-layer MLP binary classifier.
+//
+// Implements the paper's future-work extension (Sec. 8): "use a deep neural
+// network in D-Step to learn a non-linear directionality function". The
+// network is sigmoid(w2 · relu(W1 x + b1) + b2), trained with SGD on
+// weighted cross-entropy + L2.
+
+#ifndef DEEPDIRECT_ML_MLP_H_
+#define DEEPDIRECT_ML_MLP_H_
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace deepdirect::ml {
+
+/// Training hyper-parameters for MlpClassifier::Train.
+struct MlpConfig {
+  size_t hidden_units = 32;
+  size_t epochs = 30;
+  double learning_rate = 0.05;
+  double min_lr_fraction = 0.1;
+  double l2 = 1e-4;
+  uint64_t seed = 1;
+};
+
+/// Binary classifier with one ReLU hidden layer.
+class MlpClassifier {
+ public:
+  /// Creates a model with He-initialized first-layer weights.
+  MlpClassifier(size_t num_features, size_t hidden_units, uint64_t seed);
+
+  size_t num_features() const { return num_features_; }
+  size_t hidden_units() const { return hidden_units_; }
+
+  /// Probability of the positive class.
+  double Predict(std::span<const double> features) const;
+
+  /// SGD training; returns final average training cross-entropy.
+  double Train(const Dataset& data, const MlpConfig& config);
+
+ private:
+  // Forward pass storing hidden pre-activations in `hidden` (resized).
+  double Forward(std::span<const double> x, std::vector<double>& hidden) const;
+
+  size_t num_features_;
+  size_t hidden_units_;
+  std::vector<double> w1_;  // hidden_units x num_features, row-major
+  std::vector<double> b1_;  // hidden_units
+  std::vector<double> w2_;  // hidden_units
+  double b2_ = 0.0;
+};
+
+}  // namespace deepdirect::ml
+
+#endif  // DEEPDIRECT_ML_MLP_H_

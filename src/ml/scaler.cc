@@ -1,0 +1,50 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepdirect::ml {
+
+void StandardScaler::Fit(const Dataset& data) {
+  const size_t d = data.num_features();
+  const size_t n = data.size();
+  means_.assign(d, 0.0);
+  stds_.assign(d, 1.0);
+  if (n == 0) return;
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) means_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) means_[j] /= static_cast<double>(n);
+
+  std::vector<double> var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - means_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(n));
+    stds_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+void StandardScaler::Transform(Dataset& data) const {
+  DD_CHECK_EQ(data.num_features(), means_.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    TransformRow(data.MutableRow(i));
+  }
+}
+
+void StandardScaler::TransformRow(std::span<double> row) const {
+  DD_CHECK_EQ(row.size(), means_.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    row[j] = (row[j] - means_[j]) / stds_[j];
+  }
+}
+
+}  // namespace deepdirect::ml

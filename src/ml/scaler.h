@@ -1,0 +1,39 @@
+// Per-feature standardization (zero mean, unit variance). The hand-crafted
+// features mix scales wildly (raw degrees vs. 1/distance-sum closeness), so
+// the HF model standardizes before logistic regression.
+
+#ifndef DEEPDIRECT_ML_SCALER_H_
+#define DEEPDIRECT_ML_SCALER_H_
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace deepdirect::ml {
+
+/// Fits column means and standard deviations on a dataset and applies
+/// (x - mean) / std per column. Columns with zero variance pass through
+/// centered only.
+class StandardScaler {
+ public:
+  /// Computes column statistics from `data`.
+  void Fit(const Dataset& data);
+
+  /// Standardizes `data` in place using the fitted statistics.
+  void Transform(Dataset& data) const;
+
+  /// Standardizes a single feature row in place.
+  void TransformRow(std::span<double> row) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace deepdirect::ml
+
+#endif  // DEEPDIRECT_ML_SCALER_H_

@@ -1,0 +1,161 @@
+#include "ml/separability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace deepdirect::ml {
+
+namespace {
+
+double SquaredDistance(const std::array<double, 2>& a,
+                       const std::array<double, 2>& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+double KnnLabelAgreement(const std::vector<std::array<double, 2>>& points,
+                         const std::vector<int>& labels, size_t k) {
+  DD_CHECK_EQ(points.size(), labels.size());
+  const size_t n = points.size();
+  if (n <= 1) return 0.0;
+  const size_t effective_k = std::min(k, n - 1);
+
+  size_t agree = 0;
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dist[j] = {SquaredDistance(points[i], points[j]), j};
+    }
+    dist[i].first = std::numeric_limits<double>::infinity();
+    std::nth_element(dist.begin(), dist.begin() + effective_k - 1,
+                     dist.end());
+    size_t votes_for_one = 0;
+    for (size_t t = 0; t < effective_k; ++t) {
+      if (labels[dist[t].second] == 1) ++votes_for_one;
+    }
+    const int majority = votes_for_one * 2 >= effective_k ? 1 : 0;
+    if (majority == labels[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(n);
+}
+
+double NearestCentroidAccuracy(
+    const std::vector<std::array<double, 2>>& points,
+    const std::vector<int>& labels) {
+  DD_CHECK_EQ(points.size(), labels.size());
+  const size_t n = points.size();
+  if (n == 0) return 0.0;
+
+  std::array<double, 2> centroid0{0.0, 0.0}, centroid1{0.0, 0.0};
+  size_t count0 = 0, count1 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == 1) {
+      centroid1[0] += points[i][0];
+      centroid1[1] += points[i][1];
+      ++count1;
+    } else {
+      centroid0[0] += points[i][0];
+      centroid0[1] += points[i][1];
+      ++count0;
+    }
+  }
+  if (count0 == 0 || count1 == 0) return 1.0;  // single class: trivially separable
+  centroid0[0] /= count0;
+  centroid0[1] /= count0;
+  centroid1[0] /= count1;
+  centroid1[1] /= count1;
+
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int predicted = SquaredDistance(points[i], centroid1) <
+                                  SquaredDistance(points[i], centroid0)
+                              ? 1
+                              : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+namespace {
+
+double RowSquaredDistance(std::span<const float> a,
+                          std::span<const float> b) {
+  double total = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    const double delta =
+        static_cast<double>(a[k]) - static_cast<double>(b[k]);
+    total += delta * delta;
+  }
+  return total;
+}
+
+}  // namespace
+
+double KnnLabelAgreementHighDim(const Matrix& points,
+                                const std::vector<int>& labels, size_t k) {
+  DD_CHECK_EQ(points.rows(), labels.size());
+  const size_t n = points.rows();
+  if (n <= 1) return 0.0;
+  const size_t effective_k = std::min(k, n - 1);
+
+  size_t agree = 0;
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dist[j] = {RowSquaredDistance(points.Row(i), points.Row(j)), j};
+    }
+    dist[i].first = std::numeric_limits<double>::infinity();
+    std::nth_element(dist.begin(), dist.begin() + effective_k - 1,
+                     dist.end());
+    size_t votes_for_one = 0;
+    for (size_t t = 0; t < effective_k; ++t) {
+      if (labels[dist[t].second] == 1) ++votes_for_one;
+    }
+    const int majority = votes_for_one * 2 >= effective_k ? 1 : 0;
+    if (majority == labels[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(n);
+}
+
+double NearestCentroidAccuracyHighDim(const Matrix& points,
+                                      const std::vector<int>& labels) {
+  DD_CHECK_EQ(points.rows(), labels.size());
+  const size_t n = points.rows();
+  if (n == 0) return 0.0;
+  const size_t d = points.cols();
+  std::vector<double> centroid0(d, 0.0), centroid1(d, 0.0);
+  size_t count0 = 0, count1 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = points.Row(i);
+    auto& centroid = labels[i] == 1 ? centroid1 : centroid0;
+    for (size_t k = 0; k < d; ++k) centroid[k] += row[k];
+    (labels[i] == 1 ? count1 : count0) += 1;
+  }
+  if (count0 == 0 || count1 == 0) return 1.0;
+  for (size_t k = 0; k < d; ++k) {
+    centroid0[k] /= static_cast<double>(count0);
+    centroid1[k] /= static_cast<double>(count1);
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = points.Row(i);
+    double d0 = 0.0, d1 = 0.0;
+    for (size_t k = 0; k < d; ++k) {
+      const double delta0 = row[k] - centroid0[k];
+      const double delta1 = row[k] - centroid1[k];
+      d0 += delta0 * delta0;
+      d1 += delta1 * delta1;
+    }
+    const int predicted = d1 < d0 ? 1 : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace deepdirect::ml

@@ -1,0 +1,177 @@
+#include "ml/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepdirect::ml {
+
+namespace {
+
+// Pairwise squared Euclidean distances of matrix rows, row-major n×n.
+std::vector<double> PairwiseSquaredDistances(const Matrix& points) {
+  const size_t n = points.rows();
+  std::vector<double> d2(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto ri = points.Row(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      const auto rj = points.Row(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < ri.size(); ++k) {
+        const double delta =
+            static_cast<double>(ri[k]) - static_cast<double>(rj[k]);
+        acc += delta * delta;
+      }
+      d2[i * n + j] = acc;
+      d2[j * n + i] = acc;
+    }
+  }
+  return d2;
+}
+
+}  // namespace
+
+std::vector<double> TsneJointProbabilities(
+    const std::vector<double>& squared_distances, size_t n,
+    double perplexity) {
+  DD_CHECK_EQ(squared_distances.size(), n * n);
+  DD_CHECK_GT(perplexity, 0.0);
+  const double target_entropy = std::log(perplexity);
+
+  std::vector<double> conditional(n * n, 0.0);
+  std::vector<double> row(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Binary search the precision beta = 1/(2 sigma^2).
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e18;
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      double weighted = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) {
+          row[j] = 0.0;
+          continue;
+        }
+        const double p = std::exp(-beta * squared_distances[i * n + j]);
+        row[j] = p;
+        sum += p;
+        weighted += p * squared_distances[i * n + j];
+      }
+      if (sum <= 1e-300) {
+        // All mass collapsed; lower beta.
+        beta_hi = beta;
+        beta = (beta_lo + beta) / 2.0;
+        continue;
+      }
+      // Shannon entropy of the conditional distribution.
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0) {  // entropy too high -> sharpen
+        beta_lo = beta;
+        beta = beta_hi >= 1e18 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) sum += row[j];
+    if (sum <= 1e-300) sum = 1.0;
+    for (size_t j = 0; j < n; ++j) conditional[i * n + j] = row[j] / sum;
+  }
+
+  // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / (2n), floored for stability.
+  std::vector<double> joint(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      joint[i * n + j] = std::max(
+          (conditional[i * n + j] + conditional[j * n + i]) / (2.0 * n),
+          1e-12);
+    }
+  }
+  return joint;
+}
+
+std::vector<std::array<double, 2>> TsneEmbed2D(const Matrix& points,
+                                               const TsneConfig& config) {
+  const size_t n = points.rows();
+  std::vector<std::array<double, 2>> y(n, {0.0, 0.0});
+  if (n == 0) return y;
+  if (n == 1) return y;
+
+  // Effective perplexity must satisfy 3*perp < n for a sane neighborhood.
+  const double perplexity =
+      std::min(config.perplexity, std::max(2.0, (n - 1) / 3.0));
+
+  const auto d2 = PairwiseSquaredDistances(points);
+  auto p = TsneJointProbabilities(d2, n, perplexity);
+
+  util::Rng rng(config.seed);
+  for (auto& yi : y) {
+    yi[0] = rng.NextGaussian() * 1e-4;
+    yi[1] = rng.NextGaussian() * 1e-4;
+  }
+
+  std::vector<std::array<double, 2>> velocity(n, {0.0, 0.0});
+  std::vector<std::array<double, 2>> gradient(n, {0.0, 0.0});
+  std::vector<double> q(n * n, 0.0);
+
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+
+    // Student-t affinities q_ij (unnormalized in `q`, sum in `q_sum`).
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double dx = y[i][0] - y[j][0];
+        const double dy = y[i][1] - y[j][1];
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    if (q_sum <= 1e-300) q_sum = 1e-300;
+
+    for (auto& grad : gradient) grad = {0.0, 0.0};
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[i * n + j];
+        const double coeff =
+            4.0 * (exaggeration * p[i * n + j] - w / q_sum) * w;
+        gradient[i][0] += coeff * (y[i][0] - y[j][0]);
+        gradient[i][1] += coeff * (y[i][1] - y[j][1]);
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      velocity[i][0] =
+          momentum * velocity[i][0] - config.learning_rate * gradient[i][0];
+      velocity[i][1] =
+          momentum * velocity[i][1] - config.learning_rate * gradient[i][1];
+      y[i][0] += velocity[i][0];
+      y[i][1] += velocity[i][1];
+    }
+
+    // Re-center to keep the layout bounded.
+    double cx = 0.0, cy = 0.0;
+    for (const auto& yi : y) {
+      cx += yi[0];
+      cy += yi[1];
+    }
+    cx /= static_cast<double>(n);
+    cy /= static_cast<double>(n);
+    for (auto& yi : y) {
+      yi[0] -= cx;
+      yi[1] -= cy;
+    }
+  }
+  return y;
+}
+
+}  // namespace deepdirect::ml

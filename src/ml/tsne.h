@@ -1,0 +1,43 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the embedding
+// visualization experiment (Fig. 7). O(n²) time and memory — intended for
+// the few-thousand-point subnetworks the paper visualizes.
+
+#ifndef DEEPDIRECT_ML_TSNE_H_
+#define DEEPDIRECT_ML_TSNE_H_
+
+#include <array>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/random.h"
+
+namespace deepdirect::ml {
+
+/// t-SNE hyper-parameters.
+struct TsneConfig {
+  double perplexity = 30.0;
+  size_t iterations = 500;
+  double learning_rate = 200.0;
+  /// Early-exaggeration factor applied to P for the first
+  /// `exaggeration_iters` iterations.
+  double exaggeration = 12.0;
+  size_t exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  size_t momentum_switch_iter = 250;
+  uint64_t seed = 1;
+};
+
+/// Embeds the rows of `points` into 2D. Returns one (x, y) per input row.
+std::vector<std::array<double, 2>> TsneEmbed2D(const Matrix& points,
+                                               const TsneConfig& config);
+
+/// Computes the symmetric joint probabilities P from pairwise squared
+/// distances using per-point bandwidths found by binary search on
+/// perplexity. Exposed for testing.
+std::vector<double> TsneJointProbabilities(
+    const std::vector<double>& squared_distances, size_t n, double perplexity);
+
+}  // namespace deepdirect::ml
+
+#endif  // DEEPDIRECT_ML_TSNE_H_

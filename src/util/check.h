@@ -1,0 +1,56 @@
+// Lightweight CHECK macros for programmer-error assertions.
+//
+// Following the convention of database systems code (RocksDB, Arrow), these
+// macros abort the process with a diagnostic on violation. They are active in
+// all build types: invariant violations in a data system should never be
+// silently ignored in release builds.
+
+#ifndef DEEPDIRECT_UTIL_CHECK_H_
+#define DEEPDIRECT_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace deepdirect::util {
+
+/// Prints a fatal diagnostic and aborts. Used by the DD_CHECK family.
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& message) {
+  std::fprintf(stderr, "DD_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace deepdirect::util
+
+/// Aborts with a diagnostic unless `cond` holds.
+#define DD_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::deepdirect::util::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+    }                                                                 \
+  } while (0)
+
+/// Aborts with a diagnostic and a streamed message unless `cond` holds.
+/// Usage: DD_CHECK_MSG(x > 0, "x was " << x);
+#define DD_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream dd_check_stream_;                             \
+      dd_check_stream_ << msg; /* NOLINT */                            \
+      ::deepdirect::util::CheckFailed(#cond, __FILE__, __LINE__,       \
+                                      dd_check_stream_.str());         \
+    }                                                                  \
+  } while (0)
+
+#define DD_CHECK_EQ(a, b) DD_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
+#define DD_CHECK_NE(a, b) DD_CHECK_MSG((a) != (b), "lhs=" << (a) << " rhs=" << (b))
+#define DD_CHECK_LT(a, b) DD_CHECK_MSG((a) < (b), "lhs=" << (a) << " rhs=" << (b))
+#define DD_CHECK_LE(a, b) DD_CHECK_MSG((a) <= (b), "lhs=" << (a) << " rhs=" << (b))
+#define DD_CHECK_GT(a, b) DD_CHECK_MSG((a) > (b), "lhs=" << (a) << " rhs=" << (b))
+#define DD_CHECK_GE(a, b) DD_CHECK_MSG((a) >= (b), "lhs=" << (a) << " rhs=" << (b))
+
+#endif  // DEEPDIRECT_UTIL_CHECK_H_

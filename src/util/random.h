@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this library takes an explicit seed and uses
+// these generators, so all experiments are reproducible bit-for-bit.
+// Xoshiro256** is the workhorse generator (fast, high quality); SplitMix64
+// seeds it and is exposed for cheap hashing-style use.
+
+#ifndef DEEPDIRECT_UTIL_RANDOM_H_
+#define DEEPDIRECT_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace deepdirect::util {
+
+/// SplitMix64: a tiny, statistically solid 64-bit generator. Primarily used
+/// to expand a single user seed into the Xoshiro256** state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: the library-wide PRNG. Satisfies the needs of Monte-Carlo
+/// style sampling in embeddings and generators; not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit seed.
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's nearly-divisionless method.
+  uint64_t NextBounded(uint64_t bound) {
+    DD_CHECK_GT(bound, 0u);
+    // 128-bit multiply-shift; the modulo bias is negligible for the bounds
+    // used here (graph sizes << 2^64) and retried away below.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t threshold = (0ULL - bound) % bound;
+      while (l < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform index in [0, n) as size_t.
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextBounded(n)); }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleIn(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (no caching of the second variate; kept
+  /// simple because normal draws are not on the hot path).
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement
+  /// (reservoir-free selection sampling; O(n) when k ~ n, rejection when
+  /// k << n). Order of the returned indices is unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace deepdirect::util
+
+#endif  // DEEPDIRECT_UTIL_RANDOM_H_

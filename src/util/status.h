@@ -1,0 +1,128 @@
+// Status / Result<T>: lightweight error propagation for fallible operations
+// at the library boundary (file I/O, user-supplied configuration).
+//
+// Programmer errors use DD_CHECK (check.h); recoverable errors — bad input
+// files, invalid parameters from callers — return Status or Result<T>.
+
+#ifndef DEEPDIRECT_UTIL_STATUS_H_
+#define DEEPDIRECT_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace deepdirect::util {
+
+/// Error categories for Status. Coarse by design: callers branch on
+/// ok()/code, humans read the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of a fallible operation that produces no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// The result of a fallible operation that produces a T on success.
+///
+/// Result is either a value or an error Status; accessing the value of an
+/// errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    DD_CHECK(!std::get<Status>(state_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns the error status (OK if the result holds a value).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(state_);
+  }
+
+  /// Returns the contained value. Checked: the result must be ok().
+  const T& value() const& {
+    DD_CHECK_MSG(ok(), "Result accessed in error state: "
+                           << std::get<Status>(state_).ToString());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    DD_CHECK_MSG(ok(), "Result accessed in error state: "
+                           << std::get<Status>(state_).ToString());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    DD_CHECK_MSG(ok(), "Result accessed in error state: "
+                           << std::get<Status>(state_).ToString());
+    return std::get<T>(std::move(state_));
+  }
+
+  /// Returns the value or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define DD_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::deepdirect::util::Status dd_status_ = (expr); \
+    if (!dd_status_.ok()) return dd_status_;  \
+  } while (0)
+
+}  // namespace deepdirect::util
+
+#endif  // DEEPDIRECT_UTIL_STATUS_H_

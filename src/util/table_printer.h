@@ -1,0 +1,38 @@
+// Fixed-width table printing so figure benches emit the same rows/series the
+// paper reports in a readable form.
+
+#ifndef DEEPDIRECT_UTIL_TABLE_PRINTER_H_
+#define DEEPDIRECT_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace deepdirect::util {
+
+/// Collects rows of string cells and prints them column-aligned to stdout.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: appends a row of a label followed by doubles.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int precision = 4);
+
+  /// Prints the aligned table to stdout.
+  void Print() const;
+
+  /// Formats a double with fixed precision.
+  static std::string FormatDouble(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepdirect::util
+
+#endif  // DEEPDIRECT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing for the scalability experiment (Fig. 9) and benches.
+
+#ifndef DEEPDIRECT_UTIL_TIMER_H_
+#define DEEPDIRECT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace deepdirect::util {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepdirect::util
+
+#endif  // DEEPDIRECT_UTIL_TIMER_H_

@@ -1,0 +1,159 @@
+// Tests for the dense autoencoder and the SAE embedding / model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/applications.h"
+#include "core/sae_model.h"
+#include "data/generators.h"
+#include "embedding/sae.h"
+#include "graph/algorithms.h"
+#include "ml/autoencoder.h"
+
+namespace deepdirect::ml {
+namespace {
+
+TEST(DenseLayerTest, ForwardShapeAndRange) {
+  util::Rng rng(3);
+  DenseLayer layer(4, 3, rng);
+  std::vector<double> in{1.0, -1.0, 0.5, 0.0};
+  std::vector<double> out(3);
+  layer.Forward(in, out);
+  for (double v : out) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(DenseLayerTest, BackwardReducesLoss) {
+  // One layer trained to map a fixed input to a fixed target: the squared
+  // error must shrink over steps.
+  util::Rng rng(5);
+  DenseLayer layer(3, 2, rng);
+  const std::vector<double> in{0.5, -0.2, 0.8};
+  const std::vector<double> target{0.9, 0.1};
+  std::vector<double> out(2), delta(2);
+
+  auto loss = [&]() {
+    layer.Forward(in, out);
+    double total = 0.0;
+    for (size_t i = 0; i < 2; ++i) {
+      total += (out[i] - target[i]) * (out[i] - target[i]);
+    }
+    return total;
+  };
+  const double before = loss();
+  for (int step = 0; step < 200; ++step) {
+    layer.Forward(in, out);
+    for (size_t i = 0; i < 2; ++i) delta[i] = 2.0 * (out[i] - target[i]);
+    layer.Backward(in, out, delta, {}, 0.5, 0.0);
+  }
+  EXPECT_LT(loss(), before * 0.1);
+}
+
+TEST(AutoencoderTest, ReconstructsSimplePatterns) {
+  // Three one-hot-ish patterns over 8 dims; a 4-dim code suffices.
+  AutoencoderConfig config;
+  config.encoder_dims = {4};
+  config.epochs = 400;
+  config.learning_rate = 0.5;
+  config.nonzero_weight = 3.0;
+  Autoencoder autoencoder(8, config);
+
+  std::vector<std::vector<double>> rows;
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    std::vector<double> row(8, 0.0);
+    row[pattern] = 1.0;
+    row[pattern + 4] = 1.0;
+    rows.push_back(row);
+  }
+  const double final_error = autoencoder.Train(rows, config);
+  EXPECT_LT(final_error, 0.2);
+
+  std::vector<double> reconstruction(8);
+  autoencoder.Reconstruct(rows[0], reconstruction);
+  // The active entries must reconstruct above the inactive ones.
+  EXPECT_GT(reconstruction[0], reconstruction[1]);
+  EXPECT_GT(reconstruction[4], reconstruction[5]);
+}
+
+TEST(AutoencoderTest, EncodeShape) {
+  AutoencoderConfig config;
+  config.encoder_dims = {6, 2};
+  config.epochs = 1;
+  Autoencoder autoencoder(10, config);
+  EXPECT_EQ(autoencoder.code_dims(), 2u);
+  std::vector<double> input(10, 0.5), code(2);
+  autoencoder.Encode(input, code);
+  for (double v : code) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SaeEmbeddingTest, NeighborsEmbedCloser) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 120;
+  gen.ties_per_node = 4.0;
+  gen.num_communities = 4;
+  gen.cross_community_fraction = 0.05;
+  gen.seed = 7;
+  const auto net = data::GenerateStatusNetwork(gen);
+
+  embedding::SaeConfig config;
+  config.autoencoder.encoder_dims = {32, 8};
+  config.autoencoder.epochs = 20;
+  const auto sae = embedding::SaeEmbedding::Train(net, config);
+  EXPECT_EQ(sae.dimensions(), 8u);
+  EXPECT_TRUE(std::isfinite(sae.reconstruction_error()));
+
+  // Same-community nodes (similar adjacency rows) should embed closer than
+  // cross-community nodes on average.
+  auto distance = [&](graph::NodeId a, graph::NodeId b) {
+    const auto ra = sae.NodeVector(a);
+    const auto rb = sae.NodeVector(b);
+    double total = 0.0;
+    for (size_t k = 0; k < ra.size(); ++k) {
+      const double d = ra[k] - rb[k];
+      total += d * d;
+    }
+    return total;
+  };
+  double within = 0.0, across = 0.0;
+  int within_count = 0, across_count = 0;
+  for (graph::NodeId u = 0; u < 40; ++u) {
+    for (graph::NodeId v = u + 1; v < 40; ++v) {
+      if (u % 4 == v % 4) {
+        within += distance(u, v);
+        ++within_count;
+      } else {
+        across += distance(u, v);
+        ++across_count;
+      }
+    }
+  }
+  EXPECT_LT(within / within_count, across / across_count);
+}
+
+TEST(SaeModelTest, BeatsChance) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 250;
+  gen.ties_per_node = 4.0;
+  gen.direction_noise = 0.05;
+  gen.status_noise = 0.1;
+  gen.seed = 9;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(11);
+  const auto split = graph::HideDirections(net, 0.3, rng);
+
+  core::SaeModelConfig config;
+  config.sae.autoencoder.encoder_dims = {64, 16};
+  config.sae.autoencoder.epochs = 8;
+  const auto model = core::SaeModel::Train(split.network, config);
+  EXPECT_EQ(model->name(), "SAE");
+  EXPECT_GT(core::DirectionDiscoveryAccuracy(split, *model), 0.55);
+}
+
+}  // namespace
+}  // namespace deepdirect::ml

@@ -1,0 +1,165 @@
+// Unit tests for closeness and betweenness centrality (exact and sampled).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "graph/centrality.h"
+
+namespace deepdirect::graph {
+namespace {
+
+// Path 0-1-2-3.
+MixedSocialNetwork PathFour() {
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kUndirected).ok());
+  EXPECT_TRUE(builder.AddTie(1, 2, TieType::kUndirected).ok());
+  EXPECT_TRUE(builder.AddTie(2, 3, TieType::kUndirected).ok());
+  return std::move(builder).Build();
+}
+
+// Star with center 0 and 5 leaves.
+MixedSocialNetwork Star() {
+  GraphBuilder builder(6);
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) {
+    EXPECT_TRUE(builder.AddTie(0, leaf, TieType::kDirected).ok());
+  }
+  return std::move(builder).Build();
+}
+
+TEST(ClosenessTest, PathGraphExactValues) {
+  const auto cc = ClosenessCentralityExact(PathFour());
+  EXPECT_NEAR(cc[0], 1.0 / 6.0, 1e-12);  // distances 1+2+3
+  EXPECT_NEAR(cc[1], 1.0 / 4.0, 1e-12);  // 1+1+2
+  EXPECT_NEAR(cc[2], 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(cc[3], 1.0 / 6.0, 1e-12);
+}
+
+TEST(ClosenessTest, StarCenterHighest) {
+  const auto cc = ClosenessCentralityExact(Star());
+  EXPECT_NEAR(cc[0], 1.0 / 5.0, 1e-12);   // 5 leaves at distance 1
+  EXPECT_NEAR(cc[1], 1.0 / 9.0, 1e-12);   // 1 + 4*2
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) EXPECT_LT(cc[leaf], cc[0]);
+}
+
+TEST(ClosenessTest, IsolatedNodeGetsZero) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kUndirected).ok());
+  const auto net = std::move(builder).Build();
+  const auto cc = ClosenessCentralityExact(net);
+  EXPECT_DOUBLE_EQ(cc[2], 0.0);
+  EXPECT_GT(cc[0], 0.0);
+}
+
+TEST(ClosenessTest, SampledWithAllPivotsEqualsExact) {
+  const auto net = PathFour();
+  util::Rng rng(3);
+  const auto exact = ClosenessCentralityExact(net);
+  const auto sampled = ClosenessCentralitySampled(net, 4, rng);
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(sampled[i], exact[i], 1e-12);
+  }
+}
+
+TEST(ClosenessTest, SampledCorrelatesWithExact) {
+  data::GeneratorConfig config;
+  config.num_nodes = 250;
+  config.ties_per_node = 4.0;
+  config.seed = 5;
+  const auto net = data::GenerateStatusNetwork(config);
+  util::Rng rng(7);
+  const auto exact = ClosenessCentralityExact(net);
+  const auto sampled = ClosenessCentralitySampled(net, 64, rng);
+
+  // Pearson correlation between exact and sampled values.
+  double mean_e = 0, mean_s = 0;
+  const size_t n = exact.size();
+  for (size_t i = 0; i < n; ++i) {
+    mean_e += exact[i];
+    mean_s += sampled[i];
+  }
+  mean_e /= n;
+  mean_s /= n;
+  double cov = 0, var_e = 0, var_s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (exact[i] - mean_e) * (sampled[i] - mean_s);
+    var_e += (exact[i] - mean_e) * (exact[i] - mean_e);
+    var_s += (sampled[i] - mean_s) * (sampled[i] - mean_s);
+  }
+  const double correlation = cov / std::sqrt(var_e * var_s);
+  EXPECT_GT(correlation, 0.9);
+}
+
+TEST(BetweennessTest, PathGraphExactValues) {
+  const auto bc = BetweennessCentralityExact(PathFour());
+  // Ordered-pair convention (Eq. 4 counts (i,j) and (j,i) separately):
+  // node 1 lies on the shortest paths of (0,2),(2,0),(0,3),(3,0).
+  EXPECT_NEAR(bc[0], 0.0, 1e-12);
+  EXPECT_NEAR(bc[1], 4.0, 1e-12);
+  EXPECT_NEAR(bc[2], 4.0, 1e-12);
+  EXPECT_NEAR(bc[3], 0.0, 1e-12);
+}
+
+TEST(BetweennessTest, StarCenter) {
+  const auto bc = BetweennessCentralityExact(Star());
+  // 5 leaves: 5*4 = 20 ordered leaf pairs all route through the center.
+  EXPECT_NEAR(bc[0], 20.0, 1e-12);
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) EXPECT_NEAR(bc[leaf], 0.0, 1e-12);
+}
+
+TEST(BetweennessTest, TriangleHasNoBetweenness) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kUndirected).ok());
+  EXPECT_TRUE(builder.AddTie(1, 2, TieType::kUndirected).ok());
+  EXPECT_TRUE(builder.AddTie(0, 2, TieType::kUndirected).ok());
+  const auto bc = BetweennessCentralityExact(std::move(builder).Build());
+  for (double v : bc) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(BetweennessTest, ShortestPathMultiplicityWeighting) {
+  // Square 0-1-2-3-0: for the pair (0,2) there are two shortest paths (via
+  // 1 and via 3), so each middle node gets dependency 1/2 per direction.
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kUndirected).ok());
+  EXPECT_TRUE(builder.AddTie(1, 2, TieType::kUndirected).ok());
+  EXPECT_TRUE(builder.AddTie(2, 3, TieType::kUndirected).ok());
+  EXPECT_TRUE(builder.AddTie(3, 0, TieType::kUndirected).ok());
+  const auto bc = BetweennessCentralityExact(std::move(builder).Build());
+  for (double v : bc) EXPECT_NEAR(v, 1.0, 1e-12);  // 2 directions * 1/2
+}
+
+TEST(BetweennessTest, SampledWithAllPivotsEqualsExact) {
+  const auto net = Star();
+  util::Rng rng(11);
+  const auto exact = BetweennessCentralityExact(net);
+  const auto sampled = BetweennessCentralitySampled(net, 6, rng);
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(sampled[i], exact[i], 1e-9);
+  }
+}
+
+TEST(BetweennessTest, SampledPreservesRankingOfExtremes) {
+  data::GeneratorConfig config;
+  config.num_nodes = 250;
+  config.ties_per_node = 4.0;
+  config.seed = 13;
+  const auto net = data::GenerateStatusNetwork(config);
+  util::Rng rng(17);
+  const auto exact = BetweennessCentralityExact(net);
+  const auto sampled = BetweennessCentralitySampled(net, 80, rng);
+
+  // The exact-top node must rank in the sampled top 10%.
+  size_t exact_top = 0;
+  for (size_t i = 1; i < exact.size(); ++i) {
+    if (exact[i] > exact[exact_top]) exact_top = i;
+  }
+  size_t better = 0;
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    if (sampled[i] > sampled[exact_top]) ++better;
+  }
+  EXPECT_LT(better, sampled.size() / 10);
+}
+
+}  // namespace
+}  // namespace deepdirect::graph

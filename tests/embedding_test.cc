@@ -1,0 +1,177 @@
+// Tests for LINE node embeddings and the node→edge feature operators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "embedding/edge_features.h"
+#include "embedding/line.h"
+
+namespace deepdirect::embedding {
+namespace {
+
+using graph::GraphBuilder;
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+using graph::TieType;
+
+TEST(EdgeFeaturesTest, DimsPerOperator) {
+  EXPECT_EQ(EdgeFeatureDims(EdgeOperator::kConcatenate, 8), 16u);
+  for (auto op : {EdgeOperator::kAverage, EdgeOperator::kHadamard,
+                  EdgeOperator::kL1, EdgeOperator::kL2}) {
+    EXPECT_EQ(EdgeFeatureDims(op, 8), 8u);
+  }
+}
+
+TEST(EdgeFeaturesTest, OperatorValues) {
+  const std::vector<double> src{1.0, -2.0};
+  const std::vector<double> dst{3.0, 4.0};
+  std::vector<double> out(4);
+
+  ComposeEdgeFeatures(EdgeOperator::kConcatenate, src, dst, out);
+  EXPECT_EQ(out, (std::vector<double>{1.0, -2.0, 3.0, 4.0}));
+
+  out.resize(2);
+  ComposeEdgeFeatures(EdgeOperator::kAverage, src, dst, out);
+  EXPECT_EQ(out, (std::vector<double>{2.0, 1.0}));
+
+  ComposeEdgeFeatures(EdgeOperator::kHadamard, src, dst, out);
+  EXPECT_EQ(out, (std::vector<double>{3.0, -8.0}));
+
+  ComposeEdgeFeatures(EdgeOperator::kL1, src, dst, out);
+  EXPECT_EQ(out, (std::vector<double>{2.0, 6.0}));
+
+  ComposeEdgeFeatures(EdgeOperator::kL2, src, dst, out);
+  EXPECT_EQ(out, (std::vector<double>{4.0, 36.0}));
+}
+
+TEST(EdgeFeaturesTest, ConcatenationIsOrderSensitive) {
+  const std::vector<double> src{1.0};
+  const std::vector<double> dst{2.0};
+  std::vector<double> forward(2), backward(2);
+  ComposeEdgeFeatures(EdgeOperator::kConcatenate, src, dst, forward);
+  ComposeEdgeFeatures(EdgeOperator::kConcatenate, dst, src, backward);
+  EXPECT_NE(forward, backward);
+}
+
+TEST(EdgeFeaturesTest, SymmetricOperatorsAreOrderInsensitive) {
+  const std::vector<double> src{1.0, -2.0};
+  const std::vector<double> dst{3.0, 4.0};
+  for (auto op : {EdgeOperator::kAverage, EdgeOperator::kHadamard,
+                  EdgeOperator::kL1, EdgeOperator::kL2}) {
+    std::vector<double> forward(2), backward(2);
+    ComposeEdgeFeatures(op, src, dst, forward);
+    ComposeEdgeFeatures(op, dst, src, backward);
+    EXPECT_EQ(forward, backward) << EdgeOperatorToString(op);
+  }
+}
+
+TEST(EdgeFeaturesTest, OperatorNames) {
+  EXPECT_STREQ(EdgeOperatorToString(EdgeOperator::kConcatenate),
+               "concatenate");
+  EXPECT_STREQ(EdgeOperatorToString(EdgeOperator::kHadamard), "hadamard");
+}
+
+TEST(LineEmbeddingTest, DimensionsAndFiniteness) {
+  data::GeneratorConfig config;
+  config.num_nodes = 200;
+  config.ties_per_node = 4.0;
+  config.seed = 3;
+  const auto net = data::GenerateStatusNetwork(config);
+
+  LineConfig line_config;
+  line_config.dimensions = 16;
+  line_config.samples_per_arc = 10;
+  const auto line = LineEmbedding::Train(net, line_config);
+  EXPECT_EQ(line.dimensions(), 16u);
+  EXPECT_EQ(line.FirstOrder(0).size(), 8u);
+  EXPECT_EQ(line.SecondOrder(0).size(), 8u);
+
+  std::vector<double> vec(16);
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    line.NodeVector(u, vec);
+    for (double v : vec) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(LineEmbeddingTest, NodeVectorConcatenatesHalves) {
+  data::GeneratorConfig config;
+  config.num_nodes = 100;
+  config.seed = 5;
+  const auto net = data::GenerateStatusNetwork(config);
+  LineConfig line_config;
+  line_config.dimensions = 8;
+  line_config.samples_per_arc = 5;
+  const auto line = LineEmbedding::Train(net, line_config);
+  std::vector<double> vec(8);
+  line.NodeVector(3, vec);
+  const auto first = line.FirstOrder(3);
+  const auto second = line.SecondOrder(3);
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(vec[k], first[k]);
+    EXPECT_DOUBLE_EQ(vec[4 + k], second[k]);
+  }
+}
+
+TEST(LineEmbeddingTest, FirstOrderProximityLearned) {
+  // Two cliques joined by one bridge: within-clique first-order affinity
+  // should exceed cross-clique affinity on average.
+  GraphBuilder builder(12);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      ASSERT_TRUE(builder.AddTie(u, v, TieType::kBidirectional).ok());
+    }
+  }
+  for (NodeId u = 6; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) {
+      ASSERT_TRUE(builder.AddTie(u, v, TieType::kBidirectional).ok());
+    }
+  }
+  ASSERT_TRUE(builder.AddTie(0, 6, TieType::kBidirectional).ok());
+  const auto net = std::move(builder).Build();
+
+  LineConfig config;
+  config.dimensions = 16;
+  config.samples_per_arc = 400;
+  config.seed = 7;
+  const auto line = LineEmbedding::Train(net, config);
+
+  auto affinity = [&](NodeId x, NodeId y) {
+    return ml::Dot(line.FirstOrder(x), line.FirstOrder(y));
+  };
+  double within = 0.0, across = 0.0;
+  int within_count = 0, across_count = 0;
+  for (NodeId u = 1; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      within += affinity(u, v);
+      ++within_count;
+    }
+    for (NodeId v = 7; v < 12; ++v) {
+      across += affinity(u, v);
+      ++across_count;
+    }
+  }
+  EXPECT_GT(within / within_count, across / across_count);
+}
+
+TEST(LineEmbeddingTest, DeterministicForSeed) {
+  data::GeneratorConfig config;
+  config.num_nodes = 100;
+  config.seed = 9;
+  const auto net = data::GenerateStatusNetwork(config);
+  LineConfig line_config;
+  line_config.dimensions = 8;
+  line_config.samples_per_arc = 5;
+  line_config.seed = 11;
+  const auto a = LineEmbedding::Train(net, line_config);
+  const auto b = LineEmbedding::Train(net, line_config);
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    const auto ra = a.FirstOrder(u);
+    const auto rb = b.FirstOrder(u);
+    for (size_t k = 0; k < ra.size(); ++k) EXPECT_EQ(ra[k], rb[k]);
+  }
+}
+
+}  // namespace
+}  // namespace deepdirect::embedding

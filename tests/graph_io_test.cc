@@ -1,0 +1,125 @@
+// Unit tests for edge-list serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/generators.h"
+#include "graph/graph_io.h"
+
+namespace deepdirect::graph {
+namespace {
+
+TEST(GraphIoTest, RoundTripThroughStream) {
+  GraphBuilder builder(6);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(1, 2, TieType::kBidirectional).ok());
+  EXPECT_TRUE(builder.AddTie(3, 4, TieType::kUndirected).ok());
+  const auto original = std::move(builder).Build();
+
+  std::stringstream buffer;
+  WriteEdgeList(original, buffer);
+  auto loaded = ReadEdgeList(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const auto& net = loaded.value();
+  EXPECT_EQ(net.num_nodes(), 6u);
+  EXPECT_EQ(net.num_ties(), 3u);
+  EXPECT_EQ(net.num_directed_ties(), 1u);
+  EXPECT_EQ(net.num_bidirectional_ties(), 1u);
+  EXPECT_EQ(net.num_undirected_ties(), 1u);
+  EXPECT_TRUE(net.HasArc(0, 1));
+  EXPECT_FALSE(net.HasArc(1, 0));
+  EXPECT_TRUE(net.HasArc(1, 2));
+  EXPECT_TRUE(net.HasArc(2, 1));
+}
+
+TEST(GraphIoTest, RoundTripThroughFile) {
+  data::GeneratorConfig config;
+  config.num_nodes = 150;
+  config.ties_per_node = 3.0;
+  config.seed = 3;
+  const auto original = data::GenerateStatusNetwork(config);
+
+  const std::string path = "/tmp/deepdirect_io_test.edges";
+  ASSERT_TRUE(SaveEdgeList(original, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto& net = loaded.value();
+  EXPECT_EQ(net.num_nodes(), original.num_nodes());
+  EXPECT_EQ(net.num_ties(), original.num_ties());
+  EXPECT_EQ(net.num_directed_ties(), original.num_directed_ties());
+  // Arc-level equality: same canonical arc list.
+  ASSERT_EQ(net.num_arcs(), original.num_arcs());
+  for (ArcId id = 0; id < net.num_arcs(); ++id) {
+    EXPECT_EQ(net.arc(id), original.arc(id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "0 1 d\n"
+      "# another\n"
+      "1 2 u\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_ties(), 2u);
+  EXPECT_EQ(loaded.value().num_nodes(), 3u);  // inferred from max id
+}
+
+TEST(GraphIoTest, DeclaredNodeCountHonored) {
+  std::stringstream in("# nodes 10\n0 1 d\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 10u);
+}
+
+TEST(GraphIoTest, RejectsUnknownTieType) {
+  std::stringstream in("0 1 x\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsMalformedLine) {
+  std::stringstream in("0 d\n");
+  EXPECT_FALSE(ReadEdgeList(in).ok());
+}
+
+TEST(GraphIoTest, RejectsNegativeNodeIds) {
+  std::stringstream in("-1 2 d\n");
+  EXPECT_FALSE(ReadEdgeList(in).ok());
+}
+
+TEST(GraphIoTest, RejectsNodeBeyondDeclaredCount) {
+  std::stringstream in("# nodes 2\n0 5 d\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsDuplicateTies) {
+  std::stringstream in("0 1 d\n1 0 b\n");
+  EXPECT_FALSE(ReadEdgeList(in).ok());
+}
+
+TEST(GraphIoTest, MissingFileReportsIOError) {
+  auto loaded = LoadEdgeList("/nonexistent/deepdirect.edges");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, EmptyInputYieldsEmptyNetwork) {
+  std::stringstream in("");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 0u);
+  EXPECT_EQ(loaded.value().num_ties(), 0u);
+}
+
+}  // namespace
+}  // namespace deepdirect::graph

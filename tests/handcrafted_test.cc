@@ -1,0 +1,156 @@
+// Tests for the hand-crafted feature extractor and the HF model (Sec. 3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hf_model.h"
+#include "data/generators.h"
+#include "graph/algorithms.h"
+#include "graph/triads.h"
+
+namespace deepdirect::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+using graph::TieType;
+
+MixedSocialNetwork TriangleWithTail() {
+  // 0 -> 1 directed, 1 - 2 bidirectional, 2 -> 0 directed, 2 - 3 undirected.
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(1, 2, TieType::kBidirectional).ok());
+  EXPECT_TRUE(builder.AddTie(2, 0, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(2, 3, TieType::kUndirected).ok());
+  return std::move(builder).Build();
+}
+
+TEST(HandcraftedFeaturesTest, FeatureLayout) {
+  const auto net = TriangleWithTail();
+  HandcraftedFeatureConfig config;
+  config.exact_centrality = true;
+  const HandcraftedFeatureExtractor extractor(net, config);
+
+  const auto x = extractor.Extract(0, 1);
+  ASSERT_EQ(x.size(), kNumHandcraftedFeatures);
+  // Degrees (Eqs. 1–2): node 0 has out {0->1} = 1, in {2->0} = 1.
+  EXPECT_DOUBLE_EQ(x[0], net.DegOut(0));
+  EXPECT_DOUBLE_EQ(x[1], net.DegOut(1));
+  EXPECT_DOUBLE_EQ(x[2], net.DegIn(0));
+  EXPECT_DOUBLE_EQ(x[3], net.DegIn(1));
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 1.0);
+  // Centralities at [4..7].
+  const auto cc = extractor.closeness();
+  const auto bc = extractor.betweenness();
+  EXPECT_DOUBLE_EQ(x[4], cc[0]);
+  EXPECT_DOUBLE_EQ(x[5], cc[1]);
+  EXPECT_DOUBLE_EQ(x[6], bc[0]);
+  EXPECT_DOUBLE_EQ(x[7], bc[1]);
+  // Triads at [8..23]: the tie (0,1) has common neighbor 2 with 2->0
+  // (backward from 0's side... relation(w=2, u=0) = forward since arc (2,0)
+  // exists directed) and 2-1 bidirectional.
+  const auto triads = graph::DirectedTriadCounts(net, 0, 1);
+  for (size_t i = 0; i < graph::kNumTriadTypes; ++i) {
+    EXPECT_DOUBLE_EQ(x[8 + i], static_cast<double>(triads[i]));
+  }
+  double triad_total = 0;
+  for (size_t i = 8; i < 24; ++i) triad_total += x[i];
+  EXPECT_DOUBLE_EQ(triad_total, 1.0);
+}
+
+TEST(HandcraftedFeaturesTest, DirectionSensitive) {
+  const auto net = TriangleWithTail();
+  HandcraftedFeatureConfig config;
+  config.exact_centrality = true;
+  const HandcraftedFeatureExtractor extractor(net, config);
+  const auto forward = extractor.Extract(0, 1);
+  const auto backward = extractor.Extract(1, 0);
+  EXPECT_NE(forward, backward);
+  // The per-endpoint features must swap.
+  EXPECT_DOUBLE_EQ(forward[0], backward[1]);
+  EXPECT_DOUBLE_EQ(forward[2], backward[3]);
+  EXPECT_DOUBLE_EQ(forward[4], backward[5]);
+}
+
+TEST(HandcraftedFeaturesTest, SampledCentralityConfigRuns) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 200;
+  gen.ties_per_node = 3.0;
+  gen.seed = 3;
+  const auto net = data::GenerateStatusNetwork(gen);
+  HandcraftedFeatureConfig config;
+  config.exact_centrality = false;
+  config.centrality_pivots = 32;
+  const HandcraftedFeatureExtractor extractor(net, config);
+  const auto x = extractor.Extract(0, 1 <= net.num_nodes() ? 1 : 0);
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(HfModelTest, FitsTrainingDirections) {
+  // On an easy, low-noise network HF must recover most *training* tie
+  // directions (sanity of the LR + scaler pipeline).
+  data::GeneratorConfig gen;
+  gen.num_nodes = 300;
+  gen.ties_per_node = 4.0;
+  gen.direction_noise = 0.05;
+  gen.status_noise = 0.1;
+  gen.seed = 5;
+  const auto net = data::GenerateStatusNetwork(gen);
+  HfConfig config;
+  const auto model = HfModel::Train(net, config);
+
+  size_t correct = 0, total = 0;
+  for (graph::ArcId id : net.directed_arcs()) {
+    const auto& arc = net.arc(id);
+    const double fwd = model->Directionality(arc.src, arc.dst);
+    const double bwd = model->Directionality(arc.dst, arc.src);
+    correct += (fwd >= bwd);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.75);
+}
+
+TEST(HfModelTest, RecoverssHiddenDirectionsAboveChance) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 400;
+  gen.ties_per_node = 4.0;
+  gen.direction_noise = 0.05;
+  gen.status_noise = 0.1;
+  gen.seed = 7;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(9);
+  const auto split = graph::HideDirections(net, 0.5, rng);
+  const auto model = HfModel::Train(split.network, HfConfig{});
+
+  size_t correct = 0;
+  for (graph::ArcId id : split.hidden_true_arcs) {
+    const auto& arc = split.network.arc(id);
+    if (model->Directionality(arc.src, arc.dst) >=
+        model->Directionality(arc.dst, arc.src)) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / split.hidden_true_arcs.size(),
+            0.6);
+}
+
+TEST(HfModelTest, OutputsAreProbabilities) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 150;
+  gen.seed = 11;
+  const auto net = data::GenerateStatusNetwork(gen);
+  const auto model = HfModel::Train(net, HfConfig{});
+  for (graph::ArcId id = 0; id < net.num_arcs() && id < 50; ++id) {
+    const auto& arc = net.arc(id);
+    const double d = model->Directionality(arc.src, arc.dst);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+  EXPECT_EQ(model->name(), "HF");
+}
+
+}  // namespace
+}  // namespace deepdirect::core

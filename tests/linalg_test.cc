@@ -1,0 +1,202 @@
+// Tests for the dense linear-algebra kernels and GraRep.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/applications.h"
+#include "data/generators.h"
+#include "core/grarep_model.h"
+#include "embedding/grarep.h"
+#include "graph/algorithms.h"
+#include "ml/linalg.h"
+
+namespace deepdirect::ml {
+namespace {
+
+TEST(MatMulTest, HandComputed) {
+  DMatrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  double av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.values.begin());
+  std::copy(bv, bv + 6, b.values.begin());
+  const auto c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+
+  // Aᵀ·A must match MatMulTransposedA.
+  const auto ata = MatMulTransposedA(a, a);
+  EXPECT_DOUBLE_EQ(ata.At(0, 0), 17.0);  // 1 + 16
+  EXPECT_DOUBLE_EQ(ata.At(0, 2), 27.0);  // 3 + 24
+}
+
+TEST(OrthonormalizeTest, ProducesOrthonormalColumns) {
+  util::Rng rng(3);
+  DMatrix m(20, 5);
+  for (double& value : m.values) value = rng.NextGaussian();
+  OrthonormalizeColumns(m);
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = a; b < 5; ++b) {
+      double dot = 0.0;
+      for (size_t i = 0; i < 20; ++i) dot += m.At(i, a) * m.At(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  DMatrix d(3, 3);
+  d.At(0, 0) = 1.0;
+  d.At(1, 1) = 5.0;
+  d.At(2, 2) = 3.0;
+  std::vector<double> eigenvalues;
+  DMatrix eigenvectors;
+  SymmetricEigen(d, &eigenvalues, &eigenvectors);
+  EXPECT_NEAR(eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  util::Rng rng(5);
+  const size_t n = 6;
+  DMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double value = rng.NextGaussian();
+      m.At(i, j) = value;
+      m.At(j, i) = value;
+    }
+  }
+  std::vector<double> eigenvalues;
+  DMatrix v;
+  SymmetricEigen(m, &eigenvalues, &v);
+  // A ≈ V Λ Vᵀ.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double reconstructed = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        reconstructed += v.At(i, k) * eigenvalues[k] * v.At(j, k);
+      }
+      EXPECT_NEAR(reconstructed, m.At(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(TruncatedSvdTest, RecoversLowRankStructure) {
+  // Build a rank-2 matrix M = u1 v1ᵀ·10 + u2 v2ᵀ·5 and check the factor
+  // captures nearly all its energy.
+  util::Rng rng(7);
+  const size_t rows = 40, cols = 30;
+  std::vector<double> u1(rows), v1(cols), u2(rows), v2(cols);
+  for (auto* vec : {&u1, &u2}) {
+    double norm = 0.0;
+    for (double& value : *vec) {
+      value = rng.NextGaussian();
+      norm += value * value;
+    }
+    for (double& value : *vec) value /= std::sqrt(norm);
+  }
+  for (auto* vec : {&v1, &v2}) {
+    double norm = 0.0;
+    for (double& value : *vec) {
+      value = rng.NextGaussian();
+      norm += value * value;
+    }
+    for (double& value : *vec) value /= std::sqrt(norm);
+  }
+  DMatrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m.At(i, j) = 10.0 * u1[i] * v1[j] + 5.0 * u2[i] * v2[j];
+    }
+  }
+  const auto factor = TruncatedSvdFactor(m, 2, 6, 2, rng);
+  // ||factor||_F² = σ1 + σ2 (since factor = U Σ^{1/2}).
+  double energy = 0.0;
+  for (double value : factor.values) energy += value * value;
+  EXPECT_NEAR(energy, 15.0, 0.2);
+}
+
+TEST(GraRepTest, TrainsWithFiniteConcatenatedBlocks) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 120;
+  gen.ties_per_node = 3.0;
+  gen.seed = 9;
+  const auto net = data::GenerateStatusNetwork(gen);
+  embedding::GraRepConfig config;
+  config.max_step = 2;
+  config.dims_per_step = 8;
+  const auto grarep = embedding::GraRepEmbedding::Train(net, config);
+  EXPECT_EQ(grarep.dimensions(), 16u);
+  for (graph::NodeId u = 0; u < net.num_nodes(); ++u) {
+    for (float value : grarep.NodeVector(u)) {
+      EXPECT_TRUE(std::isfinite(value));
+    }
+  }
+}
+
+TEST(GraRepTest, CommunityStructureSeparates) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 120;
+  gen.ties_per_node = 4.0;
+  gen.num_communities = 3;
+  gen.cross_community_fraction = 0.05;
+  gen.triangle_closure_prob = 0.0;
+  gen.seed = 11;
+  const auto net = data::GenerateStatusNetwork(gen);
+  embedding::GraRepConfig config;
+  config.max_step = 2;
+  config.dims_per_step = 8;
+  const auto grarep = embedding::GraRepEmbedding::Train(net, config);
+
+  auto distance = [&](graph::NodeId a, graph::NodeId b) {
+    const auto ra = grarep.NodeVector(a);
+    const auto rb = grarep.NodeVector(b);
+    double total = 0.0;
+    for (size_t k = 0; k < ra.size(); ++k) {
+      const double d = ra[k] - rb[k];
+      total += d * d;
+    }
+    return total;
+  };
+  double within = 0.0, across = 0.0;
+  int within_count = 0, across_count = 0;
+  for (graph::NodeId u = 0; u < 45; ++u) {
+    for (graph::NodeId v = u + 1; v < 45; ++v) {
+      if (u % 3 == v % 3) {
+        within += distance(u, v);
+        ++within_count;
+      } else {
+        across += distance(u, v);
+        ++across_count;
+      }
+    }
+  }
+  EXPECT_LT(within / within_count, across / across_count);
+}
+
+
+TEST(GraRepModelTest, BeatsChance) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 250;
+  gen.ties_per_node = 4.0;
+  gen.direction_noise = 0.05;
+  gen.status_noise = 0.1;
+  gen.seed = 13;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(15);
+  const auto split = graph::HideDirections(net, 0.3, rng);
+
+  core::GraRepModelConfig config;
+  config.grarep.max_step = 2;
+  config.grarep.dims_per_step = 8;
+  const auto model = core::GraRepModel::Train(split.network, config);
+  EXPECT_EQ(model->name(), "GraRep");
+  EXPECT_GT(core::DirectionDiscoveryAccuracy(split, *model), 0.55);
+}
+
+}  // namespace
+}  // namespace deepdirect::ml

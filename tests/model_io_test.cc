@@ -1,0 +1,117 @@
+// Tests for DeepDirect model serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/applications.h"
+#include "core/deepdirect.h"
+#include "data/generators.h"
+#include "graph/algorithms.h"
+
+namespace deepdirect::core {
+namespace {
+
+graph::HiddenDirectionSplit MakeSplit(uint64_t seed = 5) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 250;
+  gen.ties_per_node = 3.5;
+  gen.seed = seed;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(seed + 1);
+  return graph::HideDirections(net, 0.4, rng);
+}
+
+DeepDirectConfig TinyConfig() {
+  DeepDirectConfig config;
+  config.dimensions = 16;
+  config.epochs = 2.0;
+  return config;
+}
+
+TEST(ModelIoTest, SaveLoadRoundTripPredictionsIdentical) {
+  const auto split = MakeSplit();
+  const auto model = DeepDirectModel::Train(split.network, TinyConfig());
+  const std::string path = "/tmp/deepdirect_model_test.ddm";
+  ASSERT_TRUE(model->Save(path).ok());
+
+  auto loaded = DeepDirectModel::Load(path, split.network);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& restored = loaded.value();
+
+  for (size_t e = 0; e < model->index().num_arcs(); e += 5) {
+    const auto [u, v] = model->index().ArcAt(e);
+    EXPECT_DOUBLE_EQ(model->Directionality(u, v),
+                     restored->Directionality(u, v));
+  }
+  EXPECT_EQ(DirectionDiscoveryAccuracy(split, *model),
+            DirectionDiscoveryAccuracy(split, *restored));
+  EXPECT_EQ(model->e_step_weights(), restored->e_step_weights());
+  EXPECT_DOUBLE_EQ(model->e_step_bias(), restored->e_step_bias());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsWrongNetwork) {
+  const auto split = MakeSplit(5);
+  const auto other_split = MakeSplit(99);
+  const auto model = DeepDirectModel::Train(split.network, TinyConfig());
+  const std::string path = "/tmp/deepdirect_model_wrongnet.ddm";
+  ASSERT_TRUE(model->Save(path).ok());
+  auto loaded = DeepDirectModel::Load(path, other_split.network);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsGarbageFile) {
+  const std::string path = "/tmp/deepdirect_model_garbage.ddm";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a model";
+  }
+  const auto split = MakeSplit();
+  auto loaded = DeepDirectModel::Load(path, split.network);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsTruncatedFile) {
+  const auto split = MakeSplit();
+  const auto model = DeepDirectModel::Train(split.network, TinyConfig());
+  const std::string path = "/tmp/deepdirect_model_trunc.ddm";
+  ASSERT_TRUE(model->Save(path).ok());
+  // Truncate to half.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  auto loaded = DeepDirectModel::Load(path, split.network);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileReportsIOError) {
+  const auto split = MakeSplit();
+  auto loaded =
+      DeepDirectModel::Load("/nonexistent/model.ddm", split.network);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
+}
+
+TEST(ModelIoTest, MlpHeadIsNotSerializable) {
+  const auto split = MakeSplit();
+  auto config = TinyConfig();
+  config.d_step_head = DStepHead::kMlp;
+  const auto model = DeepDirectModel::Train(split.network, config);
+  const auto status = model->Save("/tmp/deepdirect_model_mlp.ddm");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace deepdirect::core

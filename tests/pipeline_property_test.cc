@@ -1,0 +1,82 @@
+// Parameterized cross-dataset property sweep: the full
+// generate → hide → train → evaluate pipeline must satisfy basic
+// invariants on every dataset configuration and label fraction.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/applications.h"
+#include "core/deepdirect.h"
+#include "core/models.h"
+#include "data/datasets.h"
+#include "graph/algorithms.h"
+#include "util/random.h"
+
+namespace deepdirect {
+namespace {
+
+using Param = std::tuple<data::DatasetId, double>;
+
+class PipelineProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PipelineProperty, DeepDirectPipelineInvariants) {
+  const auto [dataset, label_fraction] = GetParam();
+  const auto net = data::MakeDataset(dataset, /*scale=*/0.25);
+  util::Rng rng(55);
+  const auto split = graph::HideDirections(net, label_fraction, rng);
+
+  // Split bookkeeping.
+  EXPECT_EQ(split.network.num_ties(), net.num_ties());
+  EXPECT_EQ(split.network.num_directed_ties() +
+                split.network.num_undirected_ties(),
+            net.num_directed_ties());
+  EXPECT_EQ(split.hidden_true_arcs.size(),
+            split.network.num_undirected_ties());
+
+  core::DeepDirectConfig config;
+  config.dimensions = 16;
+  config.epochs = 2.0;
+  const auto model = core::DeepDirectModel::Train(split.network, config);
+
+  // Predictions are probabilities; accuracy is within [0, 1] and above
+  // worst case on pattern-bearing data.
+  const double accuracy = core::DirectionDiscoveryAccuracy(split, *model);
+  EXPECT_GE(accuracy, 0.4);
+  EXPECT_LE(accuracy, 1.0);
+
+  // Each undirected tie receives exactly one prediction, with endpoints
+  // that actually host a tie.
+  const auto predictions = core::DiscoverDirections(split.network, *model);
+  EXPECT_EQ(predictions.size(), split.network.num_undirected_ties());
+  for (const auto& p : predictions) {
+    EXPECT_TRUE(split.network.HasArc(p.source, p.target));
+    EXPECT_GE(p.confidence, 0.0);
+    EXPECT_LE(p.confidence, 1.0);
+  }
+
+  // The directionality adjacency matrix preserves the arc structure.
+  const core::WeightedAdjacency adjacency(split.network, model.get());
+  double out_total = 0.0, in_total = 0.0;
+  for (graph::NodeId u = 0; u < split.network.num_nodes(); ++u) {
+    out_total += adjacency.OutSum(u);
+    in_total += adjacency.InSum(u);
+  }
+  EXPECT_NEAR(out_total, in_total, 1e-6);
+  EXPECT_GT(out_total, 0.0);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  const auto [dataset, fraction] = info.param;
+  return std::string(data::DatasetName(dataset)) + "_" +
+         std::to_string(static_cast<int>(fraction * 100)) + "pct";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasetsAndFractions, PipelineProperty,
+    ::testing::Combine(::testing::ValuesIn(data::AllDatasets()),
+                       ::testing::Values(0.1, 0.5)),
+    ParamName);
+
+}  // namespace
+}  // namespace deepdirect

@@ -1,0 +1,162 @@
+// Tests for the ReDirect-N/sm and ReDirect-T/sm baselines and the LINE
+// directionality model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/applications.h"
+#include "core/line_model.h"
+#include "core/models.h"
+#include "core/redirect.h"
+#include "data/generators.h"
+#include "graph/algorithms.h"
+
+namespace deepdirect::core {
+namespace {
+
+graph::HiddenDirectionSplit EasySplit(uint64_t seed = 5) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 400;
+  gen.ties_per_node = 4.0;
+  gen.direction_noise = 0.05;
+  gen.status_noise = 0.1;
+  gen.bidirectional_fraction = 0.2;
+  gen.seed = seed;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(seed + 100);
+  return graph::HideDirections(net, 0.3, rng);
+}
+
+TEST(RedirectNTest, TrainsAndBeatsChance) {
+  const auto split = EasySplit();
+  RedirectNConfig config;
+  config.dimensions = 16;
+  config.epochs = 30;
+  const auto model = RedirectNModel::Train(split.network, config);
+  EXPECT_EQ(model->name(), "ReDirect-N/sm");
+  EXPECT_GT(DirectionDiscoveryAccuracy(split, *model), 0.58);
+}
+
+TEST(RedirectNTest, OutputsAreProbabilities) {
+  const auto split = EasySplit();
+  const auto model = RedirectNModel::Train(split.network, RedirectNConfig{});
+  for (graph::ArcId id = 0; id < split.network.num_arcs(); id += 11) {
+    const auto& arc = split.network.arc(id);
+    const double d = model->Directionality(arc.src, arc.dst);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    EXPECT_TRUE(std::isfinite(d));
+  }
+}
+
+TEST(RedirectNTest, FitsTrainingLabels) {
+  const auto split = EasySplit();
+  RedirectNConfig config;
+  config.epochs = 60;
+  const auto model = RedirectNModel::Train(split.network, config);
+  size_t correct = 0, total = 0;
+  for (graph::ArcId id : split.network.directed_arcs()) {
+    const auto& arc = split.network.arc(id);
+    correct += model->Directionality(arc.src, arc.dst) >=
+               model->Directionality(arc.dst, arc.src);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.75);
+}
+
+TEST(RedirectTTest, ClampsLabeledArcs) {
+  const auto split = EasySplit();
+  const auto model = RedirectTModel::Train(split.network, RedirectTConfig{});
+  for (graph::ArcId id : split.network.directed_arcs()) {
+    const auto& arc = split.network.arc(id);
+    EXPECT_DOUBLE_EQ(model->Directionality(arc.src, arc.dst), 1.0);
+    EXPECT_DOUBLE_EQ(model->Directionality(arc.dst, arc.src), 0.0);
+  }
+}
+
+TEST(RedirectTTest, PairValuesSumToOneOnUndirectedTies) {
+  const auto split = EasySplit();
+  const auto model = RedirectTModel::Train(split.network, RedirectTConfig{});
+  for (graph::ArcId id : split.network.undirected_arcs()) {
+    const auto& arc = split.network.arc(id);
+    if (arc.src > arc.dst) continue;
+    const double fwd = model->Directionality(arc.src, arc.dst);
+    const double bwd = model->Directionality(arc.dst, arc.src);
+    EXPECT_NEAR(fwd + bwd, 1.0, 1e-6);
+    EXPECT_GE(fwd, 0.0);
+    EXPECT_LE(fwd, 1.0);
+  }
+}
+
+TEST(RedirectTTest, ConvergesWithinIterationBudget) {
+  const auto split = EasySplit();
+  RedirectTConfig config;
+  config.max_iterations = 300;
+  config.tolerance = 1e-3;
+  const auto model = RedirectTModel::Train(split.network, config);
+  EXPECT_LT(model->iterations_run(), 300u);
+  EXPECT_GT(model->iterations_run(), 0u);
+}
+
+TEST(RedirectTTest, BeatsChanceClearly) {
+  const auto split = EasySplit();
+  const auto model = RedirectTModel::Train(split.network, RedirectTConfig{});
+  EXPECT_EQ(model->name(), "ReDirect-T/sm");
+  EXPECT_GT(DirectionDiscoveryAccuracy(split, *model), 0.65);
+}
+
+TEST(LineModelTest, TrainsAndBeatsChance) {
+  const auto split = EasySplit();
+  LineModelConfig config;
+  config.line.dimensions = 32;
+  config.line.samples_per_arc = 20;
+  const auto model = LineModel::Train(split.network, config);
+  EXPECT_EQ(model->name(), "LINE");
+  EXPECT_EQ(model->tie_feature_dims(), 64u);  // concat doubles
+  EXPECT_GT(DirectionDiscoveryAccuracy(split, *model), 0.6);
+}
+
+TEST(LineModelTest, AlternativeEdgeOperators) {
+  const auto split = EasySplit();
+  for (auto op : {embedding::EdgeOperator::kHadamard,
+                  embedding::EdgeOperator::kAverage}) {
+    LineModelConfig config;
+    config.line.dimensions = 16;
+    config.line.samples_per_arc = 10;
+    config.edge_operator = op;
+    const auto model = LineModel::Train(split.network, config);
+    EXPECT_EQ(model->tie_feature_dims(), 16u);
+    const auto& arc = split.network.arc(0);
+    const double d = model->Directionality(arc.src, arc.dst);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(ModelFactoryTest, AllMethodsTrainViaFactory) {
+  const auto split = EasySplit();
+  MethodConfigs configs = MethodConfigs::FastDefaults();
+  configs.deepdirect.dimensions = 32;
+  configs.deepdirect.epochs = 2.0;
+  configs.line.line.samples_per_arc = 10;
+  for (Method method : AllMethods()) {
+    const auto model = TrainMethod(split.network, method, configs);
+    ASSERT_NE(model, nullptr) << MethodName(method);
+    EXPECT_EQ(model->name(), MethodName(method));
+    EXPECT_GT(DirectionDiscoveryAccuracy(split, *model), 0.5)
+        << MethodName(method);
+  }
+}
+
+TEST(ModelFactoryTest, MethodNamesMatchPaper) {
+  EXPECT_STREQ(MethodName(Method::kLine), "LINE");
+  EXPECT_STREQ(MethodName(Method::kHf), "HF");
+  EXPECT_STREQ(MethodName(Method::kDeepDirect), "DeepDirect");
+  EXPECT_STREQ(MethodName(Method::kRedirectNsm), "ReDirect-N/sm");
+  EXPECT_STREQ(MethodName(Method::kRedirectTsm), "ReDirect-T/sm");
+  EXPECT_EQ(AllMethods().size(), 5u);
+}
+
+}  // namespace
+}  // namespace deepdirect::core

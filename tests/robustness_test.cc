@@ -1,0 +1,148 @@
+// Robustness / failure-injection tests: malformed inputs, adversarial
+// generator settings, and randomized parser fuzzing. Everything here must
+// fail *gracefully* (Status errors) rather than crash.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/applications.h"
+#include "core/deepdirect.h"
+#include "core/models.h"
+#include "data/generators.h"
+#include "graph/algorithms.h"
+#include "graph/graph_io.h"
+#include "util/random.h"
+
+namespace deepdirect {
+namespace {
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  util::Rng rng(1234);
+  const std::string alphabet = "0123456789 abdu-#\n\t.";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const size_t length = rng.NextIndex(200);
+    for (size_t i = 0; i < length; ++i) {
+      input += alphabet[rng.NextIndex(alphabet.size())];
+    }
+    std::stringstream stream(input);
+    const auto result = graph::ReadEdgeList(stream);
+    // Either parses or errors — both fine, crashing is not.
+    if (result.ok()) {
+      EXPECT_GE(result.value().num_nodes(), 0u);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, ValidLinesWithGarbageSuffixStillRejectedOrParsed) {
+  // Trailing tokens after the type letter are ignored by design (stream
+  // extraction), so this parses.
+  std::stringstream stream("0 1 d trailing junk\n");
+  const auto result = graph::ReadEdgeList(stream);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(RobustnessTest, MinimalNetworks) {
+  // The smallest legal TDL instance: two nodes, one directed tie.
+  graph::GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddTie(0, 1, graph::TieType::kDirected).ok());
+  const auto net = std::move(builder).Build();
+
+  core::DeepDirectConfig config;
+  config.dimensions = 4;
+  config.epochs = 2.0;
+  const auto model = core::DeepDirectModel::Train(net, config);
+  const double d = model->Directionality(0, 1);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(RobustnessTest, StarNetworkAllMethods) {
+  // A star has no triangles, no connected-tie pairs from leaves, and
+  // extreme degree skew — a degenerate shape every method must survive.
+  graph::GraphBuilder builder(12);
+  for (graph::NodeId leaf = 1; leaf < 12; ++leaf) {
+    ASSERT_TRUE(builder.AddTie(static_cast<graph::NodeId>(leaf), 0,
+                               graph::TieType::kDirected)
+                    .ok());
+  }
+  const auto net = std::move(builder).Build();
+  util::Rng rng(5);
+  const auto split = graph::HideDirections(net, 0.5, rng);
+
+  auto configs = core::MethodConfigs::FastDefaults();
+  configs.deepdirect.dimensions = 8;
+  configs.deepdirect.epochs = 2.0;
+  configs.line.line.dimensions = 8;
+  configs.line.line.samples_per_arc = 5;
+  for (core::Method method : core::AllMethods()) {
+    const auto model = core::TrainMethod(split.network, method, configs);
+    const double accuracy = core::DirectionDiscoveryAccuracy(split, *model);
+    EXPECT_GE(accuracy, 0.0) << core::MethodName(method);
+    EXPECT_LE(accuracy, 1.0) << core::MethodName(method);
+  }
+}
+
+TEST(RobustnessTest, DisconnectedComponentsSurviveTraining) {
+  // Two disjoint communities with zero cross ties (possible with custom
+  // generator configs) must not break sampling or centralities.
+  graph::GraphBuilder builder(8);
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    for (graph::NodeId v = u + 1; v < 4; ++v) {
+      ASSERT_TRUE(builder.AddTie(u, v, graph::TieType::kDirected).ok());
+    }
+  }
+  for (graph::NodeId u = 4; u < 8; ++u) {
+    for (graph::NodeId v = u + 1; v < 8; ++v) {
+      ASSERT_TRUE(builder.AddTie(u, v, graph::TieType::kBidirectional).ok());
+    }
+  }
+  const auto net = std::move(builder).Build();
+  auto configs = core::MethodConfigs::FastDefaults();
+  configs.deepdirect.dimensions = 8;
+  configs.deepdirect.epochs = 2.0;
+  configs.hf.features.exact_centrality = true;
+  for (core::Method method : core::AllMethods()) {
+    const auto model = core::TrainMethod(net, method, configs);
+    EXPECT_NE(model, nullptr);
+  }
+}
+
+TEST(RobustnessTest, ExtremeGeneratorSettings) {
+  // All-bidirectional except the mandatory directed remainder; full noise.
+  data::GeneratorConfig config;
+  config.num_nodes = 60;
+  config.ties_per_node = 2.0;
+  config.bidirectional_fraction = 0.95;
+  config.direction_noise = 0.5;  // direction = coin flip
+  config.status_noise = 1.0;
+  config.seed = 3;
+  const auto net = data::GenerateStatusNetwork(config);
+  EXPECT_EQ(net.num_nodes(), 60u);
+  EXPECT_GT(net.num_ties(), 0u);
+}
+
+TEST(RobustnessTest, HugeHideFractionStillTrains) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 150;
+  gen.ties_per_node = 3.0;
+  gen.bidirectional_fraction = 0.0;
+  gen.seed = 7;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(9);
+  // Keep fraction so small that the floor of one directed tie kicks in.
+  const auto split = graph::HideDirections(net, 1e-9, rng);
+  EXPECT_EQ(split.network.num_directed_ties(), 1u);
+  core::DeepDirectConfig config;
+  config.dimensions = 8;
+  config.epochs = 1.0;
+  const auto model = core::DeepDirectModel::Train(split.network, config);
+  EXPECT_NE(model, nullptr);
+}
+
+}  // namespace
+}  // namespace deepdirect

@@ -1,0 +1,154 @@
+// Unit tests for exact t-SNE and the 2D separability scores.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/separability.h"
+#include "ml/tsne.h"
+
+namespace deepdirect::ml {
+namespace {
+
+TEST(TsneJointProbabilitiesTest, SymmetricAndNormalized) {
+  // Four points on a line: distances^2 hand-built.
+  const size_t n = 4;
+  std::vector<double> d2(n * n, 0.0);
+  const double xs[] = {0.0, 1.0, 2.0, 10.0};
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      d2[i * n + j] = (xs[i] - xs[j]) * (xs[i] - xs[j]);
+    }
+  }
+  const auto p = TsneJointProbabilities(d2, n, 2.0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(p[i * n + i], 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_GE(p[i * n + j], 0.0);
+      EXPECT_NEAR(p[i * n + j], p[j * n + i], 1e-12);
+      total += p[i * n + j];
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  // The far point (3) is less affine to 0 than the near point (1).
+  EXPECT_GT(p[0 * n + 1], p[0 * n + 3]);
+}
+
+TEST(TsneTest, TwoClustersSeparateIn2D) {
+  // Two well-separated Gaussian blobs in 10 dims must stay separable after
+  // projection (this is the quantitative core of the Fig. 7 protocol).
+  const size_t per_cluster = 40, dims = 10;
+  Matrix points(2 * per_cluster, dims);
+  std::vector<int> labels(2 * per_cluster);
+  util::Rng rng(5);
+  for (size_t i = 0; i < 2 * per_cluster; ++i) {
+    const int cluster = i < per_cluster ? 0 : 1;
+    labels[i] = cluster;
+    for (size_t k = 0; k < dims; ++k) {
+      points.At(i, k) = static_cast<float>(cluster * 8.0 +
+                                           0.5 * rng.NextGaussian());
+    }
+  }
+  TsneConfig config;
+  config.iterations = 300;
+  config.perplexity = 15.0;
+  config.seed = 7;
+  const auto projected = TsneEmbed2D(points, config);
+  ASSERT_EQ(projected.size(), 2 * per_cluster);
+  for (const auto& pt : projected) {
+    EXPECT_TRUE(std::isfinite(pt[0]));
+    EXPECT_TRUE(std::isfinite(pt[1]));
+  }
+  EXPECT_GT(KnnLabelAgreement(projected, labels, 5), 0.95);
+  EXPECT_GT(NearestCentroidAccuracy(projected, labels), 0.95);
+}
+
+TEST(TsneTest, DegenerateInputs) {
+  Matrix empty(0, 3);
+  EXPECT_TRUE(TsneEmbed2D(empty, {}).empty());
+  Matrix one(1, 3);
+  const auto single = TsneEmbed2D(one, {});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0][0], 0.0);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  Matrix points(20, 4);
+  util::Rng rng(9);
+  points.FillUniform(rng, -1.0f, 1.0f);
+  TsneConfig config;
+  config.iterations = 50;
+  config.seed = 11;
+  const auto a = TsneEmbed2D(points, config);
+  const auto b = TsneEmbed2D(points, config);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i][0], b[i][0]);
+    EXPECT_DOUBLE_EQ(a[i][1], b[i][1]);
+  }
+}
+
+TEST(SeparabilityTest, PerfectlySeparatedClusters) {
+  std::vector<std::array<double, 2>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({static_cast<double>(i % 3) * 0.1, 0.0});
+    labels.push_back(0);
+    points.push_back({10.0 + (i % 3) * 0.1, 0.0});
+    labels.push_back(1);
+  }
+  EXPECT_DOUBLE_EQ(KnnLabelAgreement(points, labels, 3), 1.0);
+  EXPECT_DOUBLE_EQ(NearestCentroidAccuracy(points, labels), 1.0);
+}
+
+TEST(SeparabilityTest, FullyMixedNearHalf) {
+  std::vector<std::array<double, 2>> points;
+  std::vector<int> labels;
+  util::Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.NextDouble(), rng.NextDouble()});
+    labels.push_back(i % 2);
+  }
+  EXPECT_LT(KnnLabelAgreement(points, labels, 7), 0.65);
+  EXPECT_LT(NearestCentroidAccuracy(points, labels), 0.65);
+}
+
+TEST(SeparabilityTest, SingleClassIsTriviallySeparable) {
+  std::vector<std::array<double, 2>> points{{0, 0}, {1, 1}};
+  std::vector<int> labels{1, 1};
+  EXPECT_DOUBLE_EQ(NearestCentroidAccuracy(points, labels), 1.0);
+}
+
+TEST(SeparabilityTest, HighDimVariantsMatchIntuition) {
+  // Two tight 8-D blobs: both high-dim scores near 1; shuffled labels near
+  // chance.
+  const size_t per_cluster = 30, dims = 8;
+  Matrix points(2 * per_cluster, dims);
+  std::vector<int> labels(2 * per_cluster);
+  util::Rng rng(17);
+  for (size_t i = 0; i < 2 * per_cluster; ++i) {
+    const int cluster = i < per_cluster ? 0 : 1;
+    labels[i] = cluster;
+    for (size_t k = 0; k < dims; ++k) {
+      points.At(i, k) =
+          static_cast<float>(cluster * 5.0 + 0.3 * rng.NextGaussian());
+    }
+  }
+  EXPECT_GT(KnnLabelAgreementHighDim(points, labels, 5), 0.95);
+  EXPECT_GT(NearestCentroidAccuracyHighDim(points, labels), 0.95);
+
+  std::vector<int> shuffled = labels;
+  rng.Shuffle(shuffled);
+  EXPECT_LT(NearestCentroidAccuracyHighDim(points, shuffled), 0.75);
+}
+
+TEST(SeparabilityTest, KnnHandlesSmallK) {
+  std::vector<std::array<double, 2>> points{{0, 0}, {0.1, 0}, {5, 5}};
+  std::vector<int> labels{0, 0, 1};
+  // k=1: points 0/1 see each other (label 0 ✓); point 2's nearest is label 0
+  // (mismatch).
+  EXPECT_NEAR(KnnLabelAgreement(points, labels, 1), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace deepdirect::ml

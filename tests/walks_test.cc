@@ -1,0 +1,198 @@
+// Tests for random walks, skip-gram, node2vec / DeepWalk embeddings, and
+// the node2vec directionality model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/applications.h"
+#include "core/node2vec_model.h"
+#include "data/generators.h"
+#include "embedding/node2vec.h"
+#include "embedding/random_walks.h"
+#include "embedding/skipgram.h"
+#include "graph/algorithms.h"
+
+namespace deepdirect::embedding {
+namespace {
+
+using graph::GraphBuilder;
+using graph::MixedSocialNetwork;
+using graph::NodeId;
+using graph::TieType;
+
+MixedSocialNetwork TwoCliquesWithBridge() {
+  GraphBuilder builder(12);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      EXPECT_TRUE(builder.AddTie(u, v, TieType::kBidirectional).ok());
+    }
+  }
+  for (NodeId u = 6; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) {
+      EXPECT_TRUE(builder.AddTie(u, v, TieType::kBidirectional).ok());
+    }
+  }
+  EXPECT_TRUE(builder.AddTie(0, 6, TieType::kBidirectional).ok());
+  return std::move(builder).Build();
+}
+
+TEST(RandomWalksTest, CorpusShape) {
+  const auto net = TwoCliquesWithBridge();
+  WalkConfig config;
+  config.walks_per_node = 3;
+  config.walk_length = 10;
+  const auto corpus = GenerateWalks(net, config);
+  EXPECT_EQ(corpus.walks.size(), 3u * net.num_nodes());
+  for (const auto& walk : corpus.walks) {
+    EXPECT_EQ(walk.size(), 10u);
+  }
+  EXPECT_EQ(corpus.TotalTokens(), 3u * net.num_nodes() * 10u);
+}
+
+TEST(RandomWalksTest, StepsFollowTies) {
+  const auto net = TwoCliquesWithBridge();
+  WalkConfig config;
+  config.walks_per_node = 2;
+  config.walk_length = 15;
+  const auto corpus = GenerateWalks(net, config);
+  for (const auto& walk : corpus.walks) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      const auto neighbors = net.UndirectedNeighbors(walk[i - 1]);
+      EXPECT_TRUE(std::binary_search(neighbors.begin(), neighbors.end(),
+                                     walk[i]))
+          << walk[i - 1] << " -> " << walk[i];
+    }
+  }
+}
+
+TEST(RandomWalksTest, IsolatedNodesExcluded) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddTie(0, 1, TieType::kUndirected).ok());
+  const auto net = std::move(builder).Build();
+  const auto corpus = GenerateWalks(net, WalkConfig{});
+  for (const auto& walk : corpus.walks) {
+    for (NodeId node : walk) EXPECT_LT(node, 2u);
+  }
+}
+
+TEST(RandomWalksTest, DeterministicForSeed) {
+  const auto net = TwoCliquesWithBridge();
+  WalkConfig config;
+  config.walks_per_node = 2;
+  config.seed = 5;
+  const auto a = GenerateWalks(net, config);
+  const auto b = GenerateWalks(net, config);
+  ASSERT_EQ(a.walks.size(), b.walks.size());
+  for (size_t i = 0; i < a.walks.size(); ++i) {
+    EXPECT_EQ(a.walks[i], b.walks[i]);
+  }
+}
+
+TEST(RandomWalksTest, ReturnParamControlsBacktracking) {
+  // Tiny p => strong return bias => many immediate backtracks; huge p =>
+  // few. Compare backtrack rates.
+  const auto net = TwoCliquesWithBridge();
+  auto backtrack_rate = [&](double p) {
+    WalkConfig config;
+    config.walks_per_node = 10;
+    config.walk_length = 20;
+    config.return_param = p;
+    config.inout_param = 1.0;
+    config.seed = 9;
+    const auto corpus = GenerateWalks(net, config);
+    size_t backtracks = 0, steps = 0;
+    for (const auto& walk : corpus.walks) {
+      for (size_t i = 2; i < walk.size(); ++i) {
+        backtracks += (walk[i] == walk[i - 2]);
+        ++steps;
+      }
+    }
+    return static_cast<double>(backtracks) / steps;
+  };
+  EXPECT_GT(backtrack_rate(0.05), backtrack_rate(20.0) + 0.1);
+}
+
+TEST(SkipGramTest, SeparatesCommunities) {
+  const auto net = TwoCliquesWithBridge();
+  WalkConfig walk_config;
+  walk_config.walks_per_node = 20;
+  walk_config.walk_length = 20;
+  const auto corpus = GenerateWalks(net, walk_config);
+  SkipGramConfig config;
+  config.dimensions = 16;
+  config.epochs = 3;
+  const auto vectors = TrainSkipGram(corpus, net.num_nodes(), config);
+
+  // Cosine similarity within cliques should exceed across-clique.
+  auto cosine = [&](NodeId a, NodeId b) {
+    const auto ra = vectors.Row(a);
+    const auto rb = vectors.Row(b);
+    return ml::Dot(ra, rb) / (ml::Norm2(ra) * ml::Norm2(rb) + 1e-12);
+  };
+  double within = 0.0, across = 0.0;
+  int within_count = 0, across_count = 0;
+  for (NodeId u = 1; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      within += cosine(u, v);
+      ++within_count;
+    }
+    for (NodeId v = 7; v < 12; ++v) {
+      across += cosine(u, v);
+      ++across_count;
+    }
+  }
+  EXPECT_GT(within / within_count, across / across_count + 0.2);
+}
+
+TEST(Node2vecTest, TrainsWithFiniteVectors) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 150;
+  gen.ties_per_node = 3.0;
+  gen.seed = 3;
+  const auto net = data::GenerateStatusNetwork(gen);
+  Node2vecConfig config;
+  config.walks.walks_per_node = 3;
+  config.walks.walk_length = 15;
+  config.skipgram.dimensions = 16;
+  config.skipgram.epochs = 1;
+  const auto embedding = Node2vecEmbedding::Train(net, config);
+  EXPECT_EQ(embedding.dimensions(), 16u);
+  std::vector<double> vec(16);
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    embedding.NodeVectorAsDouble(u, vec);
+    for (double v : vec) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Node2vecTest, DeepWalkPresetIsUniform) {
+  const auto config = Node2vecConfig::DeepWalk();
+  EXPECT_DOUBLE_EQ(config.walks.return_param, 1.0);
+  EXPECT_DOUBLE_EQ(config.walks.inout_param, 1.0);
+}
+
+TEST(Node2vecModelTest, BeatsChanceOnEasyNetwork) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 400;
+  gen.ties_per_node = 4.0;
+  gen.direction_noise = 0.05;
+  gen.status_noise = 0.1;
+  gen.seed = 5;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(7);
+  const auto split = graph::HideDirections(net, 0.3, rng);
+
+  core::Node2vecModelConfig config;
+  config.node2vec.walks.walks_per_node = 5;
+  config.node2vec.walks.walk_length = 20;
+  config.node2vec.skipgram.dimensions = 32;
+  config.node2vec.skipgram.epochs = 2;
+  const auto model = core::Node2vecModel::Train(split.network, config);
+  EXPECT_EQ(model->name(), "node2vec");
+  EXPECT_GT(core::DirectionDiscoveryAccuracy(split, *model), 0.58);
+}
+
+}  // namespace
+}  // namespace deepdirect::embedding
