@@ -2,8 +2,9 @@
 //
 // Every bench prints the rows/series its paper figure reports and mirrors
 // them into CSV files under bench_results/. Environment overrides:
-//   DD_BENCH_SCALE  — multiplies dataset node counts (default 1.0)
-//   DD_BENCH_FAST   — "1" shrinks sweeps for smoke runs
+//   DD_BENCH_SCALE    — multiplies dataset node counts (default 1.0)
+//   DD_BENCH_FAST     — "1" shrinks sweeps for smoke runs
+//   DD_BENCH_THREADS  — SGD workers per trainer (default 1; 0 = all cores)
 
 #ifndef DEEPDIRECT_BENCH_BENCH_COMMON_H_
 #define DEEPDIRECT_BENCH_BENCH_COMMON_H_
@@ -28,6 +29,14 @@ inline double BenchScale() {
 inline bool BenchFast() {
   const char* env = std::getenv("DD_BENCH_FAST");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// SGD worker count from DD_BENCH_THREADS (default 1 = the deterministic
+/// serial path; 0 = all hardware threads).
+inline size_t BenchThreads() {
+  const char* env = std::getenv("DD_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  return static_cast<size_t>(std::strtoull(env, nullptr, 10));
 }
 
 /// Opens bench_results/<name>.csv (creating the directory).

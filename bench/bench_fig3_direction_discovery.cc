@@ -22,7 +22,8 @@ int main() {
   const std::vector<double> fractions =
       bench::BenchFast() ? std::vector<double>{0.1, 0.4}
                          : std::vector<double>{0.05, 0.1, 0.2, 0.4, 0.6};
-  const auto configs = core::MethodConfigs::FastDefaults();
+  auto configs = core::MethodConfigs::FastDefaults();
+  configs.SetNumThreads(bench::BenchThreads());
   const auto methods = core::AllMethods();
 
   std::printf("=== Fig. 3: direction discovery accuracy ===\n");

@@ -18,7 +18,8 @@
 int main() {
   using namespace deepdirect;
   const double scale = bench::BenchScale();
-  const auto configs = core::MethodConfigs::FastDefaults();
+  auto configs = core::MethodConfigs::FastDefaults();
+  configs.SetNumThreads(bench::BenchThreads());
   const std::vector<data::DatasetId> datasets{
       data::DatasetId::kLiveJournal, data::DatasetId::kEpinions,
       data::DatasetId::kSlashdot};

@@ -35,6 +35,9 @@ int main() {
 
   core::DeepDirectConfig config =
       core::MethodConfigs::FastDefaults().deepdirect;
+  config.num_threads = bench::BenchThreads();
+  config.d_step.num_threads = config.num_threads;
+  std::printf("SGD workers: %zu (DD_BENCH_THREADS)\n\n", config.num_threads);
   for (double scale : scales) {
     const auto net = data::MakeDataset(data::DatasetId::kTencent, scale);
     util::Rng rng(55);

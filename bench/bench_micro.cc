@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/deepdirect.h"
 #include "core/tie_index.h"
 #include "data/datasets.h"
@@ -15,6 +16,7 @@
 #include "graph/triads.h"
 #include "util/alias_table.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -135,6 +137,53 @@ void BM_DeepDirectEStepIterations(benchmark::State& state) {
       0.1 * static_cast<double>(index.NumConnectedTiePairs());
 }
 BENCHMARK(BM_DeepDirectEStepIterations)->Unit(benchmark::kMillisecond);
+
+// Shared CSV for the worker-scaling rows (one row per worker count).
+util::CsvWriter& ThreadsThroughputCsv() {
+  static util::CsvWriter csv = [] {
+    util::CsvWriter writer(bench::OpenResultCsv("micro_threads_throughput"));
+    writer.WriteRow({"threads", "steps_per_sec"});
+    return writer;
+  }();
+  return csv;
+}
+
+void BM_DeepDirectEStepThreads(benchmark::State& state) {
+  // E-Step steps/sec against Hogwild worker count. Speedup is bounded by
+  // the host's core count; the CSV records whatever this machine delivers.
+  const auto& net = BenchNetwork();
+  core::DeepDirectConfig config;
+  config.dimensions = 64;
+  config.negative_samples = 5;
+  config.epochs = 0.1;
+  config.num_threads = static_cast<size_t>(state.range(0));
+  const core::TieIndex index(net);
+  const double iters_per_run =
+      config.epochs * static_cast<double>(index.NumConnectedTiePairs());
+
+  util::Timer timer;
+  for (auto _ : state) {
+    auto model = core::DeepDirectModel::Train(net, config);
+    benchmark::DoNotOptimize(model->embeddings().rows());
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  const double total_steps =
+      iters_per_run * static_cast<double>(state.iterations());
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(total_steps, benchmark::Counter::kIsRate);
+  if (elapsed > 0.0) {
+    ThreadsThroughputCsv().WriteRow(
+        {std::to_string(state.range(0)),
+         std::to_string(total_steps / elapsed)});
+  }
+}
+BENCHMARK(BM_DeepDirectEStepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LineEmbeddingEpoch(benchmark::State& state) {
   const auto& net = BenchNetwork();

@@ -44,11 +44,15 @@ int Usage() {
                "usage:\n"
                "  tdl_cli generate --dataset <name> [--scale S] --output F\n"
                "  tdl_cli discover --input F [--method M] [--output F]"
-               " [--hide F] [--seed N]\n"
-               "  tdl_cli quantify --input F [--method M] [--output F]\n"
-               "  tdl_cli embed    --input F --output F [--dims N]\n"
+               " [--hide F] [--seed N] [--threads N]\n"
+               "  tdl_cli quantify --input F [--method M] [--output F]"
+               " [--threads N]\n"
+               "  tdl_cli embed    --input F --output F [--dims N]"
+               " [--threads N]\n"
                "methods: deepdirect hf line redirect-n redirect-t\n"
-               "datasets: twitter livejournal epinions slashdot tencent\n");
+               "datasets: twitter livejournal epinions slashdot tencent\n"
+               "--threads: SGD workers (default 1 = deterministic; 0 = all"
+               " cores)\n");
   return 2;
 }
 
@@ -59,6 +63,15 @@ std::optional<core::Method> ParseMethod(const std::string& name) {
   if (name == "redirect-n") return core::Method::kRedirectNsm;
   if (name == "redirect-t") return core::Method::kRedirectTsm;
   return std::nullopt;
+}
+
+// Strict parse for --threads: the whole string must be a base-10 number.
+// (strtoull alone would turn a typo like "abc" into 0 = all cores.)
+std::optional<size_t> ParseThreads(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  return static_cast<size_t>(value);
 }
 
 std::optional<data::DatasetId> ParseDataset(const std::string& name) {
@@ -136,10 +149,19 @@ int RunDiscoverOrQuantify(const std::string& command,
     return 1;
   }
 
+  auto configs = core::MethodConfigs::FastDefaults();
+  if (flags.contains("threads")) {
+    const auto threads = ParseThreads(flags.at("threads"));
+    if (!threads.has_value()) {
+      std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
+                   flags.at("threads").c_str());
+      return 1;
+    }
+    configs.SetNumThreads(*threads);
+  }
   std::printf("training %s on %zu nodes / %zu ties (%zu directed)...\n",
               core::MethodName(*method), train_net.num_nodes(),
               train_net.num_ties(), train_net.num_directed_ties());
-  const auto configs = core::MethodConfigs::FastDefaults();
   const auto model = core::TrainMethod(train_net, *method, configs);
 
   const std::string output =
@@ -194,6 +216,16 @@ int RunEmbed(const std::map<std::string, std::string>& flags) {
       core::MethodConfigs::FastDefaults().deepdirect;
   if (flags.contains("dims")) {
     config.dimensions = std::strtoull(flags.at("dims").c_str(), nullptr, 10);
+  }
+  if (flags.contains("threads")) {
+    const auto threads = ParseThreads(flags.at("threads"));
+    if (!threads.has_value()) {
+      std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
+                   flags.at("threads").c_str());
+      return 1;
+    }
+    config.num_threads = *threads;
+    config.d_step.num_threads = *threads;
   }
   std::printf("embedding %zu ties at l=%zu...\n", network.num_ties(),
               config.dimensions);

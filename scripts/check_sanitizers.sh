@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the library with a sanitizer and runs the training-engine tests.
+#
+# Usage:  scripts/check_sanitizers.sh [thread|address]   (default: thread)
+#
+# The thread run is the important one: it drives every Hogwild trainer with
+# multiple workers under TSan, proving the relaxed-atomic access policy
+# keeps the lock-free updates data-race-free under the C++ memory model.
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+case "$SANITIZER" in
+  thread|address) ;;
+  *)
+    echo "usage: $0 [thread|address]" >&2
+    exit 2
+    ;;
+esac
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build-$SANITIZER"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDEEPDIRECT_SANITIZE="$SANITIZER" \
+  -DDEEPDIRECT_BUILD_BENCHMARKS=OFF \
+  -DDEEPDIRECT_BUILD_EXAMPLES=OFF
+
+# The trainer-facing test binaries: the train/ engine itself plus every
+# migrated trainer (DeepDirect E/D-step, skip-gram, LINE, logistic
+# regression).
+TARGETS=(train_test deepdirect_test embedding_test walks_test ml_test)
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
+
+# Multi-worker + determinism tests exercise the Hogwild path and the serial
+# path; halt on the first sanitizer report.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+
+FILTER='*MultiThreaded*:*Deterministic*:SgdDriverTest.*:ThreadPoolTest.*:ProgressReporterTest.*'
+for target in "${TARGETS[@]}"; do
+  echo "=== $target ($SANITIZER) ==="
+  "$BUILD_DIR/tests/$target" --gtest_filter="$FILTER"
+done
+
+echo "OK: $SANITIZER-sanitized trainer tests passed."

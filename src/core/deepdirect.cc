@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/dataset.h"
+#include "train/sgd_driver.h"
 #include "util/alias_table.h"
 #include "util/random.h"
 
@@ -104,20 +105,38 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
       config.epochs * static_cast<double>(idx.NumConnectedTiePairs()));
 
   const bool track_loss = static_cast<bool>(config.progress);
-  double window_loss = 0.0;
-  uint64_t window_steps = 0;
 
-  std::vector<double> grad_m(l);
-  for (uint64_t step = 0; step < iterations; ++step) {
-    const double progress =
-        static_cast<double>(step) / static_cast<double>(iterations);
-    const double lr = config.initial_learning_rate *
-                      std::max(config.min_lr_fraction, 1.0 - progress);
+  train::SgdOptions options;
+  options.steps = iterations;
+  options.num_threads = config.num_threads;
+  options.lr = config.Schedule();
+  options.shard_seed = config.seed;
+  options.progress = config.progress;
+  options.report_every = config.report_every;
+  train::SgdDriver driver(options);
 
-    // Line 13: sample a connected tie pair (e, e').
-    const size_t e = source_table.Sample(rng);
-    const size_t e_prime = idx.SampleConnectedTie(e, rng);
-    if (e_prime >= num_arcs) continue;  // leaf destination, no pair
+  std::vector<std::vector<double>> grad_scratch(
+      driver.num_workers(), std::vector<double>(l, 0.0));
+
+  driver.Run(rng, [&](auto access, const train::SgdStep& ctx) -> double {
+    using A = decltype(access);
+    std::vector<double>& grad_m = grad_scratch[ctx.worker];
+    util::Rng& r = ctx.rng;
+    const double lr = ctx.lr;
+    const double progress = static_cast<double>(ctx.step) /
+                            static_cast<double>(iterations);
+
+    // Line 13: sample a connected tie pair (e, e'). A tie with a leaf
+    // destination has no pair; resample instead of silently skipping the
+    // step (P_c ∝ deg_tie never draws such a tie, so the loop only spins
+    // under the uniform fallback above — which requires |C(G)| > 0 to be
+    // reached at all).
+    size_t e = source_table.Sample(r);
+    size_t e_prime = idx.SampleConnectedTie(e, r);
+    while (e_prime >= num_arcs) {
+      e = source_table.Sample(r);
+      e_prime = idx.SampleConnectedTie(e, r);
+    }
 
     auto m_e = m.Row(e);
     std::fill(grad_m.begin(), grad_m.end(), 0.0);
@@ -127,24 +146,24 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
     // --- L_topo: positive pair + λ negatives (Eqs. 23–25).
     {
       auto n_pos = n.Row(e_prime);
-      const double score = ml::Dot(m_e, n_pos);
+      const double score = train::DotRows<A>(m_e, n_pos);
       const double g_pos = ml::Sigmoid(score) - 1.0;
       for (size_t k = 0; k < l; ++k) {
-        grad_m[k] += g_pos * static_cast<double>(n_pos[k]);
+        grad_m[k] += g_pos * static_cast<double>(A::Load(n_pos[k]));
       }
-      ml::Axpy(-lr * g_pos, m_e, n_pos);
+      train::AddScaled<A>(n_pos, -lr * g_pos, m_e);
       if (track_loss) step_loss -= ml::LogSigmoid(score);
     }
     for (size_t neg = 0; neg < config.negative_samples; ++neg) {
-      const size_t f = noise_table.Sample(rng);
+      const size_t f = noise_table.Sample(r);
       if (f == e_prime) continue;
       auto n_neg = n.Row(f);
-      const double score = ml::Dot(m_e, n_neg);
+      const double score = train::DotRows<A>(m_e, n_neg);
       const double g_neg = ml::Sigmoid(score);
       for (size_t k = 0; k < l; ++k) {
-        grad_m[k] += g_neg * static_cast<double>(n_neg[k]);
+        grad_m[k] += g_neg * static_cast<double>(A::Load(n_neg[k]));
       }
-      ml::Axpy(-lr * g_neg, m_e, n_neg);
+      train::AddScaled<A>(n_neg, -lr * g_neg, m_e);
       if (track_loss) step_loss -= ml::LogSigmoid(-score);
     }
 
@@ -160,9 +179,9 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
         warmup_scale > 0.0 &&
         (idx.IsLabeled(e) || arc_class == ArcClass::kUndirected);
     if (needs_prediction) {
-      double score = b_prime;
+      double score = A::Load(b_prime);
       for (size_t k = 0; k < l; ++k) {
-        score += w_prime[k] * static_cast<double>(m_e[k]);
+        score += A::Load(w_prime[k]) * static_cast<double>(A::Load(m_e[k]));
       }
       const double prediction = ml::Sigmoid(score);
 
@@ -186,12 +205,14 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
           // y^t from current predictions over t(u, v) (Eq. 15).
           double y_t = 0.0;
           for (const auto& [uw, vw] : info.triad_pairs) {
-            double score_uw = b_prime, score_vw = b_prime;
+            double score_uw = A::Load(b_prime);
+            double score_vw = score_uw;
             const auto m_uw = m.Row(uw);
             const auto m_vw = m.Row(vw);
             for (size_t k = 0; k < l; ++k) {
-              score_uw += w_prime[k] * static_cast<double>(m_uw[k]);
-              score_vw += w_prime[k] * static_cast<double>(m_vw[k]);
+              const double wk = A::Load(w_prime[k]);
+              score_uw += wk * static_cast<double>(A::Load(m_uw[k]));
+              score_vw += wk * static_cast<double>(A::Load(m_vw[k]));
             }
             const double y_uw = ml::Sigmoid(score_uw);
             const double y_vw = ml::Sigmoid(score_vw);
@@ -205,32 +226,28 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
       if (g_b != 0.0) {
         // Eq. 23 (classifier part) and Eq. 22, plus L2 decay on w'.
         for (size_t k = 0; k < l; ++k) {
-          grad_m[k] += g_b * w_prime[k];
-          w_prime[k] -= lr * (g_b * static_cast<double>(m_e[k]) +
-                              config.classifier_l2 * w_prime[k]);
+          const double wk = A::Load(w_prime[k]);
+          grad_m[k] += g_b * wk;
+          A::Store(w_prime[k],
+                   wk - lr * (g_b * static_cast<double>(A::Load(m_e[k])) +
+                              config.classifier_l2 * wk));
         }
-        b_prime -= lr * g_b;
+        A::Store(b_prime, A::Load(b_prime) - lr * g_b);
       }
     }
 
     // Line 15: apply the accumulated embedding gradient (with row decay).
     for (size_t k = 0; k < l; ++k) {
-      m_e[k] -= static_cast<float>(
-          lr * (grad_m[k] +
-                config.embedding_l2 * static_cast<double>(m_e[k])));
+      const float mk = A::Load(m_e[k]);
+      A::Store(m_e[k],
+               mk - static_cast<float>(
+                        lr * (grad_m[k] +
+                              config.embedding_l2 *
+                                  static_cast<double>(mk))));
     }
 
-    if (track_loss) {
-      window_loss += step_loss;
-      ++window_steps;
-      if (window_steps >= config.report_every || step + 1 == iterations) {
-        config.progress(step + 1, iterations,
-                        window_loss / static_cast<double>(window_steps));
-        window_loss = 0.0;
-        window_steps = 0;
-      }
-    }
-  }
+    return step_loss;
+  });
 
   model->e_step_weights_ = w_prime;
   model->e_step_bias_ = b_prime;

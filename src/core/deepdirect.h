@@ -43,6 +43,8 @@
 #include "ml/logistic_regression.h"
 #include "ml/matrix.h"
 #include "ml/mlp.h"
+#include "train/lr_schedule.h"
+#include "train/progress_reporter.h"
 
 namespace deepdirect::core {
 
@@ -82,6 +84,10 @@ struct DeepDirectConfig {
   /// Ablation: sample negatives uniformly instead of ∝ deg_tie^{3/4}.
   bool uniform_negative_sampling = false;
   uint64_t seed = 21;
+  /// E-Step SGD workers (0 = all hardware threads). 1 runs the
+  /// deterministic serial path; > 1 runs Hogwild-style lock-free updates,
+  /// which are fast but not bit-reproducible.
+  size_t num_threads = 1;
   /// D-Step logistic regression settings.
   ml::LogisticRegressionConfig d_step = {
       .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
@@ -98,9 +104,14 @@ struct DeepDirectConfig {
   /// Optional E-Step progress callback, invoked every `report_every` SGD
   /// steps with (step, total_steps, mean L' over the window). Useful for
   /// long trainings; leave empty for silence.
-  std::function<void(uint64_t step, uint64_t total, double mean_loss)>
-      progress = nullptr;
+  train::ProgressCallback progress = nullptr;
   uint64_t report_every = 1000000;
+
+  /// The E-Step decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {initial_learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kClampedLinear};
+  }
 };
 
 /// A trained DeepDirect model: embedding matrix + directionality head.

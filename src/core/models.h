@@ -47,6 +47,16 @@ struct MethodConfigs {
   /// datasets (l = 64, τ = 5, LINE 32-dim halves); preserves every ordering
   /// the paper reports while keeping a full Fig. 3 sweep in CI time.
   static MethodConfigs FastDefaults();
+
+  /// Sets the SGD worker count of every trainer that runs on the
+  /// train::SgdDriver engine (0 = all hardware threads; 1 = deterministic).
+  void SetNumThreads(size_t n) {
+    deepdirect.num_threads = n;
+    deepdirect.d_step.num_threads = n;
+    line.line.num_threads = n;
+    line.regression.num_threads = n;
+    hf.regression.num_threads = n;
+  }
 };
 
 /// Trains `method` on `g` with the matching config from `configs`.

@@ -71,11 +71,7 @@ std::unique_ptr<RedirectNModel> RedirectNModel::Train(
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     rng.Shuffle(order);
     for (size_t e : order) {
-      const double progress =
-          static_cast<double>(step) / static_cast<double>(total_steps);
-      const double lr =
-          config.learning_rate *
-          (1.0 - (1.0 - config.min_lr_fraction) * progress);
+      const double lr = config.Schedule().At(step, total_steps);
       ++step;
       if (weight[e] == 0.0) continue;
 

@@ -29,6 +29,7 @@
 #include "core/tie_index.h"
 #include "graph/mixed_graph.h"
 #include "ml/matrix.h"
+#include "train/lr_schedule.h"
 
 namespace deepdirect::core {
 
@@ -42,6 +43,12 @@ struct RedirectNConfig {
   /// Weight of pattern pseudo-label terms relative to supervised terms.
   double pattern_weight = 0.5;
   uint64_t seed = 31;
+
+  /// The decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kInterpolatedLinear};
+  }
 };
 
 /// Node-centroid semi-supervised ReDirect.

@@ -32,10 +32,7 @@ ml::Matrix TrainEdgeListEmbedding(
       static_cast<uint64_t>(config.samples_per_edge) * edges.size();
   std::vector<double> grad(dims);
   for (uint64_t step = 0; step < total_steps; ++step) {
-    const double progress =
-        static_cast<double>(step) / static_cast<double>(total_steps);
-    const double lr = config.initial_learning_rate *
-                      std::max(config.min_lr_fraction, 1.0 - progress);
+    const double lr = config.Schedule().At(step, total_steps);
     const auto& [src, dst] = edges[rng.NextIndex(edges.size())];
     auto src_row = vectors.Row(src);
     std::fill(grad.begin(), grad.end(), 0.0);

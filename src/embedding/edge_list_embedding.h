@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ml/matrix.h"
+#include "train/lr_schedule.h"
 #include "util/random.h"
 
 namespace deepdirect::embedding {
@@ -24,6 +25,12 @@ struct EdgeListEmbeddingConfig {
   double initial_learning_rate = 0.025;
   double min_lr_fraction = 1e-2;
   uint64_t seed = 57;
+
+  /// The decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {initial_learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kClampedLinear};
+  }
 };
 
 /// Trains vertex vectors over the directed edges (src, dst) with skip-gram

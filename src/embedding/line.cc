@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "train/sgd_driver.h"
 #include "util/alias_table.h"
 
 namespace deepdirect::embedding {
@@ -29,14 +30,19 @@ util::AliasTable BuildNodeNoiseTable(const MixedSocialNetwork& g) {
 // One negative-sampling SGD step on (source row, target row) with the given
 // positive/negative label, shared by both proximity orders. Accumulates the
 // source-row gradient into `source_grad`; updates the target row in place.
+// Parameter access goes through the driver's policy `A` so the same body
+// serves the serial and Hogwild paths.
+template <typename A>
 void NegSamplingStep(std::span<float> source, std::span<float> target,
                      double label, double lr,
                      std::vector<double>& source_grad) {
-  const double score = ml::Dot(source, target);
+  const double score = train::DotRows<A>(source, target);
   const double g = (label - ml::Sigmoid(score)) * lr;
   for (size_t k = 0; k < source.size(); ++k) {
-    source_grad[k] += g * static_cast<double>(target[k]);
-    target[k] += static_cast<float>(g * static_cast<double>(source[k]));
+    source_grad[k] += g * static_cast<double>(A::Load(target[k]));
+    A::Store(target[k],
+             A::Load(target[k]) +
+                 static_cast<float>(g * static_cast<double>(A::Load(source[k]))));
   }
 }
 
@@ -60,58 +66,68 @@ LineEmbedding LineEmbedding::Train(const MixedSocialNetwork& g,
   // Context matrices start at zero, as in the reference implementation.
 
   const util::AliasTable noise = BuildNodeNoiseTable(g);
-  const uint64_t total_steps =
-      static_cast<uint64_t>(config.samples_per_arc) * g.num_arcs();
 
-  std::vector<double> source_grad(half);
-  for (uint64_t step = 0; step < total_steps; ++step) {
-    const double progress =
-        static_cast<double>(step) / static_cast<double>(total_steps);
-    const double lr = config.initial_learning_rate *
-                      std::max(config.min_lr_fraction, 1.0 - progress);
+  train::SgdOptions options;
+  options.steps =
+      static_cast<uint64_t>(config.samples_per_arc) * g.num_arcs();
+  options.num_threads = config.num_threads;
+  options.lr = config.Schedule();
+  options.shard_seed = config.seed;
+  train::SgdDriver driver(options);
+
+  std::vector<std::vector<double>> grad_scratch(
+      driver.num_workers(), std::vector<double>(half, 0.0));
+
+  driver.Run(rng, [&](auto access, const train::SgdStep& ctx) -> double {
+    using A = decltype(access);
+    std::vector<double>& source_grad = grad_scratch[ctx.worker];
+    util::Rng& r = ctx.rng;
+    const double lr = ctx.lr;
 
     // Arcs are unit-weight: uniform arc sampling == LINE's edge sampling.
     // Orientation is randomized so both endpoints receive vertex-side
     // updates regardless of the mix of directed vs twin arcs (proximity in
     // LINE is direction-agnostic; see the paper's critique in Sec. 4 that
     // node embeddings cannot exploit directionality).
-    const ArcId arc_id = static_cast<ArcId>(rng.NextIndex(g.num_arcs()));
+    const ArcId arc_id = static_cast<ArcId>(r.NextIndex(g.num_arcs()));
     NodeId u = g.arc(arc_id).src;
     NodeId v = g.arc(arc_id).dst;
-    if (rng.NextBool(0.5)) std::swap(u, v);
+    if (r.NextBool(0.5)) std::swap(u, v);
 
     // --- First order: symmetric affinity between endpoint vectors.
     std::fill(source_grad.begin(), source_grad.end(), 0.0);
-    NegSamplingStep(first.Row(u), first_ctx.Row(v), 1.0, lr, source_grad);
+    NegSamplingStep<A>(first.Row(u), first_ctx.Row(v), 1.0, lr, source_grad);
     for (size_t neg = 0; neg < config.negative_samples; ++neg) {
-      const NodeId noise_node = static_cast<NodeId>(noise.Sample(rng));
+      const NodeId noise_node = static_cast<NodeId>(noise.Sample(r));
       if (noise_node == v || noise_node == u) continue;
-      NegSamplingStep(first.Row(u), first_ctx.Row(noise_node), 0.0, lr,
-                      source_grad);
+      NegSamplingStep<A>(first.Row(u), first_ctx.Row(noise_node), 0.0, lr,
+                         source_grad);
     }
     {
       auto row = first.Row(u);
       for (size_t k = 0; k < half; ++k) {
-        row[k] += static_cast<float>(source_grad[k]);
+        A::Store(row[k], A::Load(row[k]) + static_cast<float>(source_grad[k]));
       }
     }
 
     // --- Second order: vertex u against context v.
     std::fill(source_grad.begin(), source_grad.end(), 0.0);
-    NegSamplingStep(second.Row(u), second_ctx.Row(v), 1.0, lr, source_grad);
+    NegSamplingStep<A>(second.Row(u), second_ctx.Row(v), 1.0, lr,
+                       source_grad);
     for (size_t neg = 0; neg < config.negative_samples; ++neg) {
-      const NodeId noise_node = static_cast<NodeId>(noise.Sample(rng));
+      const NodeId noise_node = static_cast<NodeId>(noise.Sample(r));
       if (noise_node == v) continue;
-      NegSamplingStep(second.Row(u), second_ctx.Row(noise_node), 0.0, lr,
-                      source_grad);
+      NegSamplingStep<A>(second.Row(u), second_ctx.Row(noise_node), 0.0, lr,
+                         source_grad);
     }
     {
       auto row = second.Row(u);
       for (size_t k = 0; k < half; ++k) {
-        row[k] += static_cast<float>(source_grad[k]);
+        A::Store(row[k], A::Load(row[k]) + static_cast<float>(source_grad[k]));
       }
     }
-  }
+    return 0.0;
+  });
 
   return LineEmbedding(std::move(first), std::move(second));
 }

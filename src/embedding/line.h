@@ -18,6 +18,7 @@
 
 #include "graph/mixed_graph.h"
 #include "ml/matrix.h"
+#include "train/lr_schedule.h"
 #include "util/random.h"
 
 namespace deepdirect::embedding {
@@ -36,6 +37,16 @@ struct LineConfig {
   /// Learning rate decays linearly to this fraction of the initial rate.
   double min_lr_fraction = 1e-2;
   uint64_t seed = 7;
+  /// SGD workers (0 = all hardware threads). 1 runs the deterministic
+  /// serial path; > 1 runs Hogwild-style lock-free updates, which are fast
+  /// but not bit-reproducible.
+  size_t num_threads = 1;
+
+  /// The decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {initial_learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kClampedLinear};
+  }
 };
 
 /// Trained LINE node embeddings.

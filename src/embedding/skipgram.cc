@@ -2,11 +2,24 @@
 
 #include <cmath>
 
+#include "train/sgd_driver.h"
 #include "util/alias_table.h"
 
 namespace deepdirect::embedding {
 
 using graph::NodeId;
+
+namespace {
+
+// Flat (walk, position) coordinates of one corpus token; the driver's
+// global step maps onto these epoch-major, walk-major, position-major —
+// exactly the historical nested-loop traversal order.
+struct TokenRef {
+  uint32_t walk;
+  uint32_t position;
+};
+
+}  // namespace
 
 ml::Matrix TrainSkipGram(const WalkCorpus& corpus, size_t num_nodes,
                          const SkipGramConfig& config) {
@@ -29,61 +42,80 @@ ml::Matrix TrainSkipGram(const WalkCorpus& corpus, size_t num_nodes,
   for (double& f : frequency) f = std::pow(f + 1.0, 0.75);
   const util::AliasTable noise(frequency);
 
-  const uint64_t total_tokens =
-      static_cast<uint64_t>(config.epochs) * corpus.TotalTokens();
-  uint64_t processed = 0;
-  std::vector<double> grad(dims);
-
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    for (const auto& walk : corpus.walks) {
-      for (size_t position = 0; position < walk.size(); ++position) {
-        const double progress = static_cast<double>(processed) /
-                                static_cast<double>(total_tokens);
-        const double lr =
-            config.initial_learning_rate *
-            std::max(config.min_lr_fraction, 1.0 - progress);
-        ++processed;
-
-        const NodeId center = walk[position];
-        auto center_row = vectors.Row(center);
-        // Dynamic window as in word2vec: radius drawn per center.
-        const size_t radius = 1 + rng.NextIndex(config.window);
-        const size_t begin = position >= radius ? position - radius : 0;
-        const size_t end = std::min(walk.size(), position + radius + 1);
-        for (size_t context_pos = begin; context_pos < end; ++context_pos) {
-          if (context_pos == position) continue;
-          const NodeId context = walk[context_pos];
-          std::fill(grad.begin(), grad.end(), 0.0);
-
-          {
-            auto context_row = contexts.Row(context);
-            const double score = ml::Dot(center_row, context_row);
-            const double g = (1.0 - ml::Sigmoid(score)) * lr;
-            for (size_t k = 0; k < dims; ++k) {
-              grad[k] += g * static_cast<double>(context_row[k]);
-              context_row[k] +=
-                  static_cast<float>(g * static_cast<double>(center_row[k]));
-            }
-          }
-          for (size_t neg = 0; neg < config.negative_samples; ++neg) {
-            const NodeId noise_node = static_cast<NodeId>(noise.Sample(rng));
-            if (noise_node == context) continue;
-            auto noise_row = contexts.Row(noise_node);
-            const double score = ml::Dot(center_row, noise_row);
-            const double g = -ml::Sigmoid(score) * lr;
-            for (size_t k = 0; k < dims; ++k) {
-              grad[k] += g * static_cast<double>(noise_row[k]);
-              noise_row[k] +=
-                  static_cast<float>(g * static_cast<double>(center_row[k]));
-            }
-          }
-          for (size_t k = 0; k < dims; ++k) {
-            center_row[k] += static_cast<float>(grad[k]);
-          }
-        }
-      }
+  std::vector<TokenRef> tokens;
+  tokens.reserve(corpus.TotalTokens());
+  for (size_t w = 0; w < corpus.walks.size(); ++w) {
+    for (size_t p = 0; p < corpus.walks[w].size(); ++p) {
+      tokens.push_back({static_cast<uint32_t>(w), static_cast<uint32_t>(p)});
     }
   }
+  if (tokens.empty()) return vectors;
+
+  const uint64_t tokens_per_epoch = tokens.size();
+  train::SgdOptions options;
+  options.steps = static_cast<uint64_t>(config.epochs) * tokens_per_epoch;
+  options.num_threads = config.num_threads;
+  options.lr = config.Schedule();
+  options.shard_seed = config.seed;
+  train::SgdDriver driver(options);
+
+  std::vector<std::vector<double>> grad_scratch(
+      driver.num_workers(), std::vector<double>(dims, 0.0));
+
+  driver.Run(rng, [&](auto access, const train::SgdStep& ctx) -> double {
+    using A = decltype(access);
+    std::vector<double>& grad = grad_scratch[ctx.worker];
+    util::Rng& r = ctx.rng;
+    const double lr = ctx.lr;
+
+    const TokenRef token = tokens[ctx.step % tokens_per_epoch];
+    const auto& walk = corpus.walks[token.walk];
+    const size_t position = token.position;
+
+    const NodeId center = walk[position];
+    auto center_row = vectors.Row(center);
+    // Dynamic window as in word2vec: radius drawn per center.
+    const size_t radius = 1 + r.NextIndex(config.window);
+    const size_t begin = position >= radius ? position - radius : 0;
+    const size_t end = std::min(walk.size(), position + radius + 1);
+    for (size_t context_pos = begin; context_pos < end; ++context_pos) {
+      if (context_pos == position) continue;
+      const NodeId context = walk[context_pos];
+      std::fill(grad.begin(), grad.end(), 0.0);
+
+      {
+        auto context_row = contexts.Row(context);
+        const double score = train::DotRows<A>(center_row, context_row);
+        const double g = (1.0 - ml::Sigmoid(score)) * lr;
+        for (size_t k = 0; k < dims; ++k) {
+          grad[k] += g * static_cast<double>(A::Load(context_row[k]));
+          A::Store(context_row[k],
+                   A::Load(context_row[k]) +
+                       static_cast<float>(
+                           g * static_cast<double>(A::Load(center_row[k]))));
+        }
+      }
+      for (size_t neg = 0; neg < config.negative_samples; ++neg) {
+        const NodeId noise_node = static_cast<NodeId>(noise.Sample(r));
+        if (noise_node == context) continue;
+        auto noise_row = contexts.Row(noise_node);
+        const double score = train::DotRows<A>(center_row, noise_row);
+        const double g = -ml::Sigmoid(score) * lr;
+        for (size_t k = 0; k < dims; ++k) {
+          grad[k] += g * static_cast<double>(A::Load(noise_row[k]));
+          A::Store(noise_row[k],
+                   A::Load(noise_row[k]) +
+                       static_cast<float>(
+                           g * static_cast<double>(A::Load(center_row[k]))));
+        }
+      }
+      for (size_t k = 0; k < dims; ++k) {
+        A::Store(center_row[k],
+                 A::Load(center_row[k]) + static_cast<float>(grad[k]));
+      }
+    }
+    return 0.0;
+  });
   return vectors;
 }
 

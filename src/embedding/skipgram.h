@@ -7,6 +7,7 @@
 
 #include "embedding/random_walks.h"
 #include "ml/matrix.h"
+#include "train/lr_schedule.h"
 
 namespace deepdirect::embedding {
 
@@ -20,6 +21,16 @@ struct SkipGramConfig {
   double initial_learning_rate = 0.025;
   double min_lr_fraction = 1e-2;
   uint64_t seed = 53;
+  /// SGD workers (0 = all hardware threads). 1 runs the deterministic
+  /// serial path; > 1 runs Hogwild-style lock-free updates, which are fast
+  /// but not bit-reproducible.
+  size_t num_threads = 1;
+
+  /// The decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {initial_learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kClampedLinear};
+  }
 };
 
 /// Trains node vectors from the corpus. Returns a num_nodes × dimensions

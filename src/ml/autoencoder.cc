@@ -132,11 +132,7 @@ double Autoencoder::Train(const std::vector<std::vector<double>>& rows,
     rng.Shuffle(order);
     double epoch_error = 0.0;
     for (size_t index : order) {
-      const double progress =
-          static_cast<double>(step) / static_cast<double>(total_steps);
-      const double lr =
-          config.learning_rate *
-          (1.0 - (1.0 - config.min_lr_fraction) * progress);
+      const double lr = config.Schedule().At(step, total_steps);
       ++step;
 
       const auto& x = rows[index];

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "train/lr_schedule.h"
 #include "util/random.h"
 
 namespace deepdirect::ml {
@@ -58,6 +59,12 @@ struct AutoencoderConfig {
   /// (SDNE's β; 1 disables).
   double nonzero_weight = 10.0;
   uint64_t seed = 63;
+
+  /// The decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kInterpolatedLinear};
+  }
 };
 
 /// Dense autoencoder with tied architecture (not tied weights).

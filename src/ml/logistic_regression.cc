@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "ml/matrix.h"
+#include "train/sgd_driver.h"
 
 namespace deepdirect::ml {
 
@@ -29,39 +30,56 @@ double LogisticRegression::Train(const Dataset& data,
   std::vector<size_t> order(data.size());
   std::iota(order.begin(), order.end(), 0);
 
-  const size_t total_steps = config.epochs * data.size();
-  size_t step = 0;
+  const uint64_t n = data.size();
+  const uint64_t total_steps = config.epochs * n;
   double last_epoch_loss = 0.0;
+
+  // Every sample is visited exactly once per epoch, so the normalizer is
+  // epoch-invariant.
+  double weight_total = 0.0;
+  for (size_t i = 0; i < n; ++i) weight_total += data.Weight(i);
 
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.shuffle) rng.Shuffle(order);
-    double epoch_loss = 0.0;
-    double weight_total = 0.0;
-    for (size_t i : order) {
-      const double progress =
-          static_cast<double>(step) / static_cast<double>(total_steps);
-      const double lr =
-          config.learning_rate *
-          (1.0 - (1.0 - config.min_lr_fraction) * progress);
-      ++step;
 
-      const auto x = data.Row(i);
-      const double y = data.Label(i);
-      const double sample_weight = data.Weight(i);
-      const double p = Predict(x);
-      // Gradient of weighted cross-entropy wrt score is weight * (p - y).
-      const double gradient = sample_weight * (p - y);
+    train::SgdOptions options;
+    options.steps = n;
+    options.step_offset = epoch * n;
+    options.total_steps = total_steps;
+    options.num_threads = config.num_threads;
+    options.lr = config.Schedule();
+    options.shard_seed = config.seed;  // body draws no randomness; unused
+    train::SgdDriver driver(options);
 
-      for (size_t j = 0; j < weights_.size(); ++j) {
-        weights_[j] -= lr * (gradient * x[j] + config.l2 * weights_[j]);
-      }
-      bias_ -= lr * gradient;
+    const double epoch_loss = driver.Run(
+        rng, [&](auto access, const train::SgdStep& ctx) -> double {
+          using A = decltype(access);
+          const size_t i = order[ctx.step - epoch * n];
+          const auto x = data.Row(i);
+          const double y = data.Label(i);
+          const double sample_weight = data.Weight(i);
 
-      const double eps = 1e-12;
-      epoch_loss -= sample_weight * (y * std::log(p + eps) +
-                                     (1.0 - y) * std::log(1.0 - p + eps));
-      weight_total += sample_weight;
-    }
+          double score = A::Load(bias_);
+          for (size_t j = 0; j < weights_.size(); ++j) {
+            score += A::Load(weights_[j]) * x[j];
+          }
+          const double p = Sigmoid(score);
+          // Gradient of weighted cross-entropy wrt score is
+          // weight * (p - y).
+          const double gradient = sample_weight * (p - y);
+
+          for (size_t j = 0; j < weights_.size(); ++j) {
+            const double w = A::Load(weights_[j]);
+            A::Store(weights_[j],
+                     w - ctx.lr * (gradient * x[j] + config.l2 * w));
+          }
+          A::Store(bias_, A::Load(bias_) - ctx.lr * gradient);
+
+          const double eps = 1e-12;
+          return -sample_weight * (y * std::log(p + eps) +
+                                   (1.0 - y) * std::log(1.0 - p + eps));
+        });
+
     double l2_term = 0.0;
     for (double w : weights_) l2_term += w * w;
     last_epoch_loss =

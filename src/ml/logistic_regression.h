@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "train/lr_schedule.h"
 #include "util/random.h"
 
 namespace deepdirect::ml {
@@ -26,6 +27,16 @@ struct LogisticRegressionConfig {
   uint64_t seed = 1;
   /// Shuffle example order each epoch.
   bool shuffle = true;
+  /// SGD workers (0 = all hardware threads). 1 runs the deterministic
+  /// serial path; > 1 runs Hogwild-style lock-free updates, which are fast
+  /// but not bit-reproducible.
+  size_t num_threads = 1;
+
+  /// The decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kInterpolatedLinear};
+  }
 };
 
 /// Binary logistic regression d(x) = sigmoid(w·x + b).

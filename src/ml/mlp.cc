@@ -61,11 +61,7 @@ double MlpClassifier::Train(const Dataset& data, const MlpConfig& config) {
     double epoch_loss = 0.0;
     double weight_total = 0.0;
     for (size_t i : order) {
-      const double progress =
-          static_cast<double>(step) / static_cast<double>(total_steps);
-      const double lr =
-          config.learning_rate *
-          (1.0 - (1.0 - config.min_lr_fraction) * progress);
+      const double lr = config.Schedule().At(step, total_steps);
       ++step;
 
       const auto x = data.Row(i);

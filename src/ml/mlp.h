@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "train/lr_schedule.h"
 #include "util/random.h"
 
 namespace deepdirect::ml {
@@ -24,6 +25,12 @@ struct MlpConfig {
   double min_lr_fraction = 0.1;
   double l2 = 1e-4;
   uint64_t seed = 1;
+
+  /// The decay schedule these parameters describe.
+  train::LrSchedule Schedule() const {
+    return {learning_rate, min_lr_fraction,
+            train::LrSchedule::Decay::kInterpolatedLinear};
+  }
 };
 
 /// Binary classifier with one ReLU hidden layer.

@@ -1,0 +1,36 @@
+#include "train/progress_reporter.h"
+
+namespace deepdirect::train {
+
+ProgressReporter::ProgressReporter(ProgressCallback callback,
+                                   uint64_t report_every, uint64_t total,
+                                   uint64_t step_offset)
+    : callback_(std::move(callback)),
+      report_every_(report_every == 0 ? 1 : report_every),
+      total_(total),
+      step_offset_(step_offset) {}
+
+void ProgressReporter::Record(uint64_t steps, double loss_sum) {
+  const uint64_t processed =
+      processed_.fetch_add(steps, std::memory_order_relaxed) + steps;
+  if (!callback_) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  window_steps_ += steps;
+  window_loss_ += loss_sum;
+  if (window_steps_ >= report_every_ || step_offset_ + processed == total_) {
+    if (window_steps_ > 0) {
+      callback_(step_offset_ + processed, total_,
+                window_loss_ / static_cast<double>(window_steps_));
+    }
+    window_steps_ = 0;
+    window_loss_ = 0.0;
+  }
+}
+
+double ProgressReporter::StepsPerSec() const {
+  const double elapsed = timer_.ElapsedSeconds();
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(processed()) / elapsed;
+}
+
+}  // namespace deepdirect::train

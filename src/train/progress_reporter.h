@@ -1,0 +1,59 @@
+// Windowed training-progress reporting shared by the SGD trainers.
+//
+// Accumulates per-step losses into a window and invokes the trainer's
+// progress callback every `report_every` steps (and once more at the end of
+// the budget), reproducing the historical DeepDirect reporting cadence
+// exactly in the single-worker path. Thread-safe: Hogwild workers record
+// batches under a mutex; the callback is never invoked concurrently.
+
+#ifndef DEEPDIRECT_TRAIN_PROGRESS_REPORTER_H_
+#define DEEPDIRECT_TRAIN_PROGRESS_REPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/timer.h"
+
+namespace deepdirect::train {
+
+/// (steps processed so far, total step budget, mean loss over the window).
+using ProgressCallback =
+    std::function<void(uint64_t step, uint64_t total, double mean_loss)>;
+
+/// Thread-safe windowed loss/throughput tracker.
+class ProgressReporter {
+ public:
+  /// `total` is the global step budget and `step_offset` the global index
+  /// of the first step this reporter will see (non-zero when a trainer
+  /// drives several epoch-sized runs against one budget).
+  ProgressReporter(ProgressCallback callback, uint64_t report_every,
+                   uint64_t total, uint64_t step_offset = 0);
+
+  /// Records `steps` completed steps whose losses sum to `loss_sum`.
+  void Record(uint64_t steps, double loss_sum);
+
+  /// Steps recorded so far.
+  uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+  /// Observed throughput since construction.
+  double StepsPerSec() const;
+
+ private:
+  ProgressCallback callback_;
+  const uint64_t report_every_;
+  const uint64_t total_;
+  const uint64_t step_offset_;
+  std::atomic<uint64_t> processed_{0};
+  std::mutex mu_;
+  uint64_t window_steps_ = 0;  // guarded by mu_
+  double window_loss_ = 0.0;   // guarded by mu_
+  util::Timer timer_;
+};
+
+}  // namespace deepdirect::train
+
+#endif  // DEEPDIRECT_TRAIN_PROGRESS_REPORTER_H_

@@ -1,0 +1,148 @@
+// SgdDriver: the unified parallel SGD engine behind every trainer.
+//
+// A trainer hands the driver a step budget, a learning-rate schedule, and a
+// step body; the driver owns execution:
+//   * one worker  — the body runs inline on the trainer's own Rng with
+//     SerialAccess, which reproduces the historical single-threaded
+//     trainers bit-for-bit (same RNG stream, same float arithmetic);
+//   * N workers   — the step budget is partitioned across the pool in
+//     strides (worker w runs global steps w, w+N, w+2N, …, so each worker
+//     sweeps the full learning-rate decay), every worker draws from its own
+//     ShardedRng stream, and the body runs with HogwildAccess: lock-free
+//     relaxed-atomic updates on the shared parameters, the Hogwild model.
+//
+// The body is a generic callable
+//     double body(AccessPolicy, const SgdStep&)
+// returning the step's loss contribution (0.0 when untracked); Run returns
+// the sum of all step losses. Per-worker scratch buffers should be sized by
+// num_workers() and indexed by SgdStep::worker.
+
+#ifndef DEEPDIRECT_TRAIN_SGD_DRIVER_H_
+#define DEEPDIRECT_TRAIN_SGD_DRIVER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "train/hogwild.h"
+#include "train/lr_schedule.h"
+#include "train/progress_reporter.h"
+#include "train/sharded_rng.h"
+#include "train/thread_pool.h"
+#include "util/random.h"
+
+namespace deepdirect::train {
+
+/// Execution parameters of one driver run.
+struct SgdOptions {
+  /// Steps this run executes.
+  uint64_t steps = 0;
+  /// Worker count: 1 = deterministic serial path, 0 = all hardware threads.
+  size_t num_threads = 1;
+  /// Learning-rate schedule over the global budget.
+  LrSchedule lr;
+  /// Global index of this run's first step (non-zero when a trainer drives
+  /// several epoch-sized runs against one decay budget).
+  uint64_t step_offset = 0;
+  /// Global budget for LR decay and progress totals; 0 = step_offset+steps.
+  uint64_t total_steps = 0;
+  /// Base seed for per-worker RNG streams (multi-worker runs only; the
+  /// serial path draws from the trainer's own Rng instead).
+  uint64_t shard_seed = 0;
+  /// Optional windowed-loss callback.
+  ProgressCallback progress;
+  /// Callback cadence in steps.
+  uint64_t report_every = 1'000'000;
+};
+
+/// One step's execution context, handed to the body.
+struct SgdStep {
+  size_t worker;   ///< worker index in [0, num_workers)
+  uint64_t step;   ///< global step index
+  double lr;       ///< learning rate at this step
+  util::Rng& rng;  ///< this worker's RNG stream
+};
+
+/// Unified SGD execution engine; see the file comment.
+class SgdDriver {
+ public:
+  explicit SgdDriver(const SgdOptions& options)
+      : options_(options), workers_(ResolveWorkerCount(options)) {}
+
+  /// Resolved worker count (scratch buffers should be sized by this).
+  size_t num_workers() const { return workers_; }
+
+  /// Runs the step budget; returns the sum of the body's loss values.
+  template <typename Body>
+  double Run(util::Rng& rng, Body&& body) {
+    const uint64_t steps = options_.steps;
+    const uint64_t total = options_.total_steps != 0
+                               ? options_.total_steps
+                               : options_.step_offset + steps;
+    ProgressReporter reporter(options_.progress, options_.report_every,
+                              total, options_.step_offset);
+    if (workers_ == 1) {
+      double loss_sum = 0.0;
+      for (uint64_t i = 0; i < steps; ++i) {
+        const uint64_t step = options_.step_offset + i;
+        const SgdStep ctx{0, step, options_.lr.At(step, total), rng};
+        const double loss = body(SerialAccess{}, ctx);
+        loss_sum += loss;
+        reporter.Record(1, loss);
+      }
+      return loss_sum;
+    }
+
+    const ShardedRng shards(options_.shard_seed);
+    std::vector<double> worker_loss(workers_, 0.0);
+    ThreadPool pool(workers_);
+    pool.ParallelFor(workers_, [&](size_t w) {
+      util::Rng worker_rng = shards.MakeShard(w);
+      double loss_sum = 0.0;
+      double window_loss = 0.0;
+      uint64_t window_steps = 0;
+      for (uint64_t i = w; i < steps; i += workers_) {
+        const uint64_t step = options_.step_offset + i;
+        const SgdStep ctx{w, step, options_.lr.At(step, total), worker_rng};
+        const double loss = body(HogwildAccess{}, ctx);
+        loss_sum += loss;
+        window_loss += loss;
+        if (++window_steps >= kWorkerFlushSteps) {
+          reporter.Record(window_steps, window_loss);
+          window_steps = 0;
+          window_loss = 0.0;
+        }
+      }
+      if (window_steps > 0) reporter.Record(window_steps, window_loss);
+      worker_loss[w] = loss_sum;
+    });
+    // Fixed summation order keeps the reduction independent of thread
+    // scheduling (the updates themselves still race, by design).
+    double loss_sum = 0.0;
+    for (double v : worker_loss) loss_sum += v;
+    return loss_sum;
+  }
+
+ private:
+  // Workers flush loss windows to the shared reporter in batches to keep
+  // the mutex off the hot path.
+  static constexpr uint64_t kWorkerFlushSteps = 1024;
+
+  static size_t ResolveWorkerCount(const SgdOptions& options) {
+    size_t workers = options.num_threads == 0
+                         ? ThreadPool::HardwareConcurrency()
+                         : options.num_threads;
+    // Never spawn more workers than steps; degenerate budgets run inline.
+    if (options.steps < workers) {
+      workers = std::max<uint64_t>(1, options.steps);
+    }
+    return workers;
+  }
+
+  SgdOptions options_;
+  size_t workers_;
+};
+
+}  // namespace deepdirect::train
+
+#endif  // DEEPDIRECT_TRAIN_SGD_DRIVER_H_

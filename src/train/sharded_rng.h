@@ -1,0 +1,44 @@
+// Per-worker deterministic RNG streams for parallel SGD.
+//
+// Hogwild workers must not share one Rng (the draws would race) and must not
+// all start from the config seed (the streams would coincide). ShardedRng
+// derives worker streams from a single base seed: shard w perturbs the seed
+// by (w + 1) golden-gamma increments before the usual SplitMix64 → Xoshiro
+// expansion, so streams are decorrelated from each other and from the
+// trainer's own Rng(seed) (which seeds Xoshiro from SplitMix64(seed)
+// directly). The derivation is pure, so a shard's stream is reproducible
+// from (seed, shard) alone.
+
+#ifndef DEEPDIRECT_TRAIN_SHARDED_RNG_H_
+#define DEEPDIRECT_TRAIN_SHARDED_RNG_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace deepdirect::train {
+
+/// Factory for decorrelated per-shard Rng streams from one base seed.
+class ShardedRng {
+ public:
+  explicit ShardedRng(uint64_t base_seed) : base_seed_(base_seed) {}
+
+  /// The deterministic Rng stream of shard `shard`.
+  util::Rng MakeShard(size_t shard) const {
+    // 0x9e3779b97f4a7c15 is SplitMix64's golden-ratio gamma; multiplying by
+    // (shard + 1) advances each shard to a distinct point of the underlying
+    // Weyl sequence before expansion.
+    util::SplitMix64 mix(base_seed_ ^
+                         (0x9e3779b97f4a7c15ULL * (shard + 1)));
+    return util::Rng(mix.Next());
+  }
+
+  uint64_t base_seed() const { return base_seed_; }
+
+ private:
+  uint64_t base_seed_;
+};
+
+}  // namespace deepdirect::train
+
+#endif  // DEEPDIRECT_TRAIN_SHARDED_RNG_H_

@@ -1,0 +1,71 @@
+#include "train/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace deepdirect::train {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = HardwareConcurrency();
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DD_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < n; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  Wait();
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace deepdirect::train

@@ -1,0 +1,60 @@
+// A small fixed-size worker pool for parallel training.
+//
+// Workers are started once and fed through a mutex-guarded task queue;
+// Wait() blocks until the queue is drained and every task has finished, so
+// anything written by tasks is visible to the caller afterwards
+// (happens-before via the pool's mutex). ParallelFor is the common entry
+// point: it submits one task per index and waits.
+
+#ifndef DEEPDIRECT_TRAIN_THREAD_POOL_H_
+#define DEEPDIRECT_TRAIN_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepdirect::train {
+
+/// Fixed-size thread pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 = all hardware threads).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs fn(0), ..., fn(n − 1) on the pool and waits for all of them.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// The machine's hardware thread count (at least 1).
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace deepdirect::train
+
+#endif  // DEEPDIRECT_TRAIN_THREAD_POOL_H_

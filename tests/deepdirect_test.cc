@@ -104,6 +104,20 @@ TEST(DeepDirectTest, DeterministicForSeed) {
             DirectionDiscoveryAccuracy(split, *b));
 }
 
+TEST(DeepDirectTest, MultiThreadedTrainingStaysAccurate) {
+  // Hogwild workers race on the shared matrices, so the result is not
+  // bit-reproducible — but the model quality must hold up.
+  const auto split = EasySplit();
+  DeepDirectConfig config = FastConfig();
+  config.dimensions = 64;
+  config.epochs = 5.0;
+  config.num_threads = 4;
+  config.d_step.num_threads = 4;
+  const auto model = DeepDirectModel::Train(split.network, config);
+  for (float v : model->embeddings().data()) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_GT(DirectionDiscoveryAccuracy(split, *model), 0.65);
+}
+
 TEST(DeepDirectTest, SeedChangesEmbedding) {
   const auto split = EasySplit();
   auto config = FastConfig();

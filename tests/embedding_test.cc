@@ -155,6 +155,48 @@ TEST(LineEmbeddingTest, FirstOrderProximityLearned) {
   EXPECT_GT(within / within_count, across / across_count);
 }
 
+TEST(LineEmbeddingTest, MultiThreadedTrainingLearnsProximity) {
+  // Same two-clique check as FirstOrderProximityLearned, but trained with
+  // Hogwild workers: racing updates must not destroy the learned structure.
+  GraphBuilder builder(12);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      ASSERT_TRUE(builder.AddTie(u, v, TieType::kBidirectional).ok());
+    }
+  }
+  for (NodeId u = 6; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) {
+      ASSERT_TRUE(builder.AddTie(u, v, TieType::kBidirectional).ok());
+    }
+  }
+  ASSERT_TRUE(builder.AddTie(0, 6, TieType::kBidirectional).ok());
+  const auto net = std::move(builder).Build();
+
+  LineConfig config;
+  config.dimensions = 16;
+  config.samples_per_arc = 400;
+  config.seed = 7;
+  config.num_threads = 4;
+  const auto line = LineEmbedding::Train(net, config);
+
+  auto affinity = [&](NodeId x, NodeId y) {
+    return ml::Dot(line.FirstOrder(x), line.FirstOrder(y));
+  };
+  double within = 0.0, across = 0.0;
+  int within_count = 0, across_count = 0;
+  for (NodeId u = 1; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      within += affinity(u, v);
+      ++within_count;
+    }
+    for (NodeId v = 7; v < 12; ++v) {
+      across += affinity(u, v);
+      ++across_count;
+    }
+  }
+  EXPECT_GT(within / within_count, across / across_count);
+}
+
 TEST(LineEmbeddingTest, DeterministicForSeed) {
   data::GeneratorConfig config;
   config.num_nodes = 100;

@@ -118,6 +118,32 @@ TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
   EXPECT_LT(lr.weights()[1], 0.0);
 }
 
+TEST(LogisticRegressionTest, MultiThreadedTrainingLearnsSeparableData) {
+  // Hogwild workers race on the weight vector; the decision rule must
+  // still be recovered.
+  Dataset data(2);
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double x0 = rng.NextDoubleIn(-1, 1);
+    const double x1 = rng.NextDoubleIn(-1, 1);
+    data.Add(std::vector<double>{x0, x1}, x0 > x1 ? 1.0 : 0.0);
+  }
+  LogisticRegression lr(2);
+  LogisticRegressionConfig config;
+  config.epochs = 50;
+  config.num_threads = 4;
+  lr.Train(data, config);
+
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double p = lr.Predict(data.Row(i));
+    correct += (p >= 0.5) == (data.Label(i) == 1.0);
+  }
+  EXPECT_GT(correct, 470);
+  EXPECT_GT(lr.weights()[0], 0.0);
+  EXPECT_LT(lr.weights()[1], 0.0);
+}
+
 TEST(LogisticRegressionTest, WarmStartConstructor) {
   LogisticRegression lr({1.0, -1.0}, 0.5);
   EXPECT_DOUBLE_EQ(lr.bias(), 0.5);

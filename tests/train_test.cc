@@ -1,0 +1,283 @@
+// Tests for the unified SGD training engine (src/train/): learning-rate
+// schedules, sharded RNG streams, the thread pool, the progress reporter,
+// and the SgdDriver's serial-determinism and multi-worker coverage
+// guarantees.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "train/hogwild.h"
+#include "train/lr_schedule.h"
+#include "train/progress_reporter.h"
+#include "train/sgd_driver.h"
+#include "train/sharded_rng.h"
+#include "train/thread_pool.h"
+#include "util/random.h"
+
+namespace deepdirect::train {
+namespace {
+
+TEST(LrScheduleTest, ClampedLinearMatchesWord2vecDecay) {
+  const LrSchedule lr{0.05, 0.01, LrSchedule::Decay::kClampedLinear};
+  EXPECT_DOUBLE_EQ(lr.At(0, 100), 0.05);
+  EXPECT_DOUBLE_EQ(lr.At(50, 100), 0.05 * 0.5);
+  // Past the floor the rate clamps at initial · min_fraction.
+  EXPECT_DOUBLE_EQ(lr.At(99, 100), 0.05 * 0.01);
+  EXPECT_DOUBLE_EQ(lr.At(100, 100), 0.05 * 0.01);
+}
+
+TEST(LrScheduleTest, InterpolatedLinearEndsExactlyAtFloor) {
+  const LrSchedule lr{0.1, 0.1, LrSchedule::Decay::kInterpolatedLinear};
+  EXPECT_DOUBLE_EQ(lr.At(0, 200), 0.1);
+  EXPECT_DOUBLE_EQ(lr.At(100, 200), 0.1 * (1.0 - 0.9 * 0.5));
+  EXPECT_DOUBLE_EQ(lr.At(200, 200), 0.1 * 0.1);
+}
+
+TEST(LrScheduleTest, ZeroTotalReturnsInitial) {
+  const LrSchedule lr{0.05, 0.01, LrSchedule::Decay::kClampedLinear};
+  EXPECT_DOUBLE_EQ(lr.At(0, 0), 0.05);
+}
+
+TEST(ShardedRngTest, ShardsAreReproducible) {
+  const ShardedRng shards(77);
+  util::Rng a = shards.MakeShard(3);
+  util::Rng b = shards.MakeShard(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ShardedRngTest, ShardsDifferFromEachOtherAndTheBaseStream) {
+  const ShardedRng shards(77);
+  util::Rng base(77);
+  util::Rng s0 = shards.MakeShard(0);
+  util::Rng s1 = shards.MakeShard(1);
+  // Compare a prefix of each stream; identical streams would match on all.
+  int s0_vs_s1 = 0, s0_vs_base = 0;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t v0 = s0.Next(), v1 = s1.Next(), vb = base.Next();
+    s0_vs_s1 += (v0 == v1);
+    s0_vs_base += (v0 == vb);
+  }
+  EXPECT_LT(s0_vs_s1, 2);
+  EXPECT_LT(s0_vs_base, 2);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitMakesTaskWritesVisible) {
+  ThreadPool pool(2);
+  int value = 0;
+  pool.Submit([&] { value = 42; });
+  pool.Wait();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::HardwareConcurrency());
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ProgressReporterTest, FiresOnCadenceAndAtBudgetEnd) {
+  std::vector<uint64_t> steps;
+  std::vector<double> means;
+  ProgressReporter reporter(
+      [&](uint64_t step, uint64_t total, double mean) {
+        EXPECT_EQ(total, 10u);
+        steps.push_back(step);
+        means.push_back(mean);
+      },
+      /*report_every=*/4, /*total=*/10);
+  for (int i = 0; i < 10; ++i) reporter.Record(1, 2.0);
+  // Windows close at steps 4, 8 and at the end of the budget (step 10).
+  ASSERT_EQ(steps, (std::vector<uint64_t>{4, 8, 10}));
+  for (double m : means) EXPECT_DOUBLE_EQ(m, 2.0);
+  EXPECT_EQ(reporter.processed(), 10u);
+}
+
+TEST(ProgressReporterTest, NullCallbackStillCountsSteps) {
+  ProgressReporter reporter(nullptr, 4, 10);
+  reporter.Record(7, 1.0);
+  EXPECT_EQ(reporter.processed(), 7u);
+}
+
+TEST(SgdDriverTest, SerialPathMatchesInlineLoopBitForBit) {
+  // The driver's one-worker path must consume the caller's Rng exactly like
+  // a hand-written loop: same draws, same lr sequence, same final params.
+  const uint64_t kSteps = 1000;
+  const LrSchedule lr{0.05, 0.01, LrSchedule::Decay::kClampedLinear};
+
+  std::vector<float> params_a(64, 0.0f);
+  util::Rng rng_a(5);
+  for (uint64_t step = 0; step < kSteps; ++step) {
+    const double rate = lr.At(step, kSteps);
+    const size_t i = rng_a.NextIndex(params_a.size());
+    params_a[i] += static_cast<float>(rate * (rng_a.NextDouble() - 0.5));
+  }
+
+  std::vector<float> params_b(64, 0.0f);
+  util::Rng rng_b(5);
+  SgdOptions options;
+  options.steps = kSteps;
+  options.num_threads = 1;
+  options.lr = lr;
+  SgdDriver driver(options);
+  EXPECT_EQ(driver.num_workers(), 1u);
+  driver.Run(rng_b, [&](auto access, const SgdStep& ctx) -> double {
+    using A = decltype(access);
+    const size_t i = ctx.rng.NextIndex(params_b.size());
+    A::Store(params_b[i],
+             A::Load(params_b[i]) +
+                 static_cast<float>(ctx.lr * (ctx.rng.NextDouble() - 0.5)));
+    return 0.0;
+  });
+
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_EQ(params_a[i], params_b[i]) << "param " << i;
+  }
+  // Both consumed the same number of draws from the same stream.
+  EXPECT_EQ(rng_a.Next(), rng_b.Next());
+}
+
+TEST(SgdDriverTest, SerialRunSumsLosses) {
+  SgdOptions options;
+  options.steps = 10;
+  SgdDriver driver(options);
+  util::Rng rng(1);
+  const double total = driver.Run(
+      rng, [](auto, const SgdStep& ctx) { return static_cast<double>(ctx.step); });
+  EXPECT_DOUBLE_EQ(total, 45.0);  // 0 + 1 + … + 9
+}
+
+TEST(SgdDriverTest, MultiWorkerCoversEveryStepExactlyOnce) {
+  const uint64_t kSteps = 10'000;
+  SgdOptions options;
+  options.steps = kSteps;
+  options.num_threads = 4;
+  options.shard_seed = 9;
+  SgdDriver driver(options);
+  EXPECT_EQ(driver.num_workers(), 4u);
+
+  std::vector<std::atomic<int>> hits(kSteps);
+  util::Rng rng(1);
+  const double total =
+      driver.Run(rng, [&](auto, const SgdStep& ctx) -> double {
+        hits[ctx.step].fetch_add(1, std::memory_order_relaxed);
+        return 1.0;
+      });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(kSteps));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SgdDriverTest, MultiWorkerStridesSweepTheFullDecay) {
+  // Every worker must see both early (high-lr) and late (low-lr) steps.
+  SgdOptions options;
+  options.steps = 1000;
+  options.num_threads = 4;
+  options.lr = {1.0, 0.0, LrSchedule::Decay::kInterpolatedLinear};
+  SgdDriver driver(options);
+
+  std::vector<std::atomic<int>> early(4), late(4);
+  util::Rng rng(1);
+  driver.Run(rng, [&](auto, const SgdStep& ctx) -> double {
+    if (ctx.lr > 0.9) early[ctx.worker].fetch_add(1);
+    if (ctx.lr < 0.1) late[ctx.worker].fetch_add(1);
+    return 0.0;
+  });
+  for (size_t w = 0; w < 4; ++w) {
+    EXPECT_GT(early[w].load(), 0) << "worker " << w;
+    EXPECT_GT(late[w].load(), 0) << "worker " << w;
+  }
+}
+
+TEST(SgdDriverTest, WorkerCountNeverExceedsSteps) {
+  SgdOptions options;
+  options.steps = 3;
+  options.num_threads = 16;
+  EXPECT_EQ(SgdDriver(options).num_workers(), 3u);
+  options.steps = 0;
+  EXPECT_EQ(SgdDriver(options).num_workers(), 1u);
+}
+
+TEST(SgdDriverTest, HogwildUpdatesLandFromAllWorkers) {
+  // Concurrent relaxed-atomic increments on one shared accumulator: every
+  // step's update must land (no lost wakeups from the pool, no skipped
+  // strides). Single-float Hogwild increments would lose updates by design;
+  // per-worker slots make the check exact.
+  const uint64_t kSteps = 8'000;
+  SgdOptions options;
+  options.steps = kSteps;
+  options.num_threads = 4;
+  SgdDriver driver(options);
+
+  std::vector<double> per_worker(driver.num_workers(), 0.0);
+  util::Rng rng(3);
+  driver.Run(rng, [&](auto access, const SgdStep& ctx) -> double {
+    using A = decltype(access);
+    A::Store(per_worker[ctx.worker], A::Load(per_worker[ctx.worker]) + 1.0);
+    return 0.0;
+  });
+  double landed = 0.0;
+  for (double v : per_worker) landed += v;
+  EXPECT_DOUBLE_EQ(landed, static_cast<double>(kSteps));
+}
+
+TEST(SgdDriverTest, StepOffsetShiftsTheGlobalSchedule) {
+  SgdOptions options;
+  options.steps = 10;
+  options.step_offset = 90;
+  options.total_steps = 100;
+  options.lr = {1.0, 0.0, LrSchedule::Decay::kInterpolatedLinear};
+  SgdDriver driver(options);
+  util::Rng rng(1);
+  std::vector<double> rates;
+  driver.Run(rng, [&](auto, const SgdStep& ctx) -> double {
+    rates.push_back(ctx.lr);
+    return 0.0;
+  });
+  ASSERT_EQ(rates.size(), 10u);
+  EXPECT_DOUBLE_EQ(rates.front(), 1.0 - 0.9);  // step 90 of 100
+  EXPECT_DOUBLE_EQ(rates.back(), 1.0 - 0.99);  // step 99 of 100
+}
+
+TEST(SgdDriverTest, ProgressReportingThreadsThroughTheDriver) {
+  SgdOptions options;
+  options.steps = 100;
+  options.report_every = 40;
+  std::vector<uint64_t> reported;
+  options.progress = [&](uint64_t step, uint64_t total, double mean) {
+    EXPECT_EQ(total, 100u);
+    EXPECT_DOUBLE_EQ(mean, 0.5);
+    reported.push_back(step);
+  };
+  SgdDriver driver(options);
+  util::Rng rng(1);
+  driver.Run(rng, [](auto, const SgdStep&) { return 0.5; });
+  EXPECT_EQ(reported, (std::vector<uint64_t>{40, 80, 100}));
+}
+
+TEST(HogwildAccessTest, PoliciesAgreeOnRowHelpers) {
+  std::vector<float> a{0.5f, -1.25f, 2.0f};
+  std::vector<float> b{1.0f, 0.25f, -0.5f};
+  const double serial = DotRows<SerialAccess>(a, b);
+  const double hogwild = DotRows<HogwildAccess>(a, b);
+  EXPECT_EQ(serial, hogwild);
+
+  std::vector<float> y1 = a, y2 = a;
+  AddScaled<SerialAccess>(y1, 0.3, b);
+  AddScaled<HogwildAccess>(y2, 0.3, b);
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+}  // namespace
+}  // namespace deepdirect::train

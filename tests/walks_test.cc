@@ -147,6 +147,58 @@ TEST(SkipGramTest, SeparatesCommunities) {
   EXPECT_GT(within / within_count, across / across_count + 0.2);
 }
 
+TEST(SkipGramTest, DeterministicForSeed) {
+  // Single-worker training is guaranteed bit-identical across runs.
+  const auto net = TwoCliquesWithBridge();
+  WalkConfig walk_config;
+  walk_config.walks_per_node = 10;
+  walk_config.walk_length = 15;
+  const auto corpus = GenerateWalks(net, walk_config);
+  SkipGramConfig config;
+  config.dimensions = 16;
+  config.epochs = 2;
+  const auto a = TrainSkipGram(corpus, net.num_nodes(), config);
+  const auto b = TrainSkipGram(corpus, net.num_nodes(), config);
+  const auto& da = a.data();
+  const auto& db = b.data();
+  ASSERT_EQ(da.size(), db.size());
+  for (size_t i = 0; i < da.size(); ++i) EXPECT_EQ(da[i], db[i]);
+}
+
+TEST(SkipGramTest, MultiThreadedSeparatesCommunities) {
+  // Hogwild training is not bit-reproducible, but the learned structure
+  // must match the serial trainer's.
+  const auto net = TwoCliquesWithBridge();
+  WalkConfig walk_config;
+  walk_config.walks_per_node = 20;
+  walk_config.walk_length = 20;
+  const auto corpus = GenerateWalks(net, walk_config);
+  SkipGramConfig config;
+  config.dimensions = 16;
+  config.epochs = 3;
+  config.num_threads = 4;
+  const auto vectors = TrainSkipGram(corpus, net.num_nodes(), config);
+
+  auto cosine = [&](NodeId a, NodeId b) {
+    const auto ra = vectors.Row(a);
+    const auto rb = vectors.Row(b);
+    return ml::Dot(ra, rb) / (ml::Norm2(ra) * ml::Norm2(rb) + 1e-12);
+  };
+  double within = 0.0, across = 0.0;
+  int within_count = 0, across_count = 0;
+  for (NodeId u = 1; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      within += cosine(u, v);
+      ++within_count;
+    }
+    for (NodeId v = 7; v < 12; ++v) {
+      across += cosine(u, v);
+      ++across_count;
+    }
+  }
+  EXPECT_GT(within / within_count, across / across_count + 0.2);
+}
+
 TEST(Node2vecTest, TrainsWithFiniteVectors) {
   data::GeneratorConfig gen;
   gen.num_nodes = 150;
