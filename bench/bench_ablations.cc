@@ -59,6 +59,7 @@ double MlpHeadAccuracy(const graph::HiddenDirectionSplit& split,
 }  // namespace
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<data::DatasetId> datasets =

@@ -5,6 +5,8 @@
 //   DD_BENCH_SCALE    — multiplies dataset node counts (default 1.0)
 //   DD_BENCH_FAST     — "1" shrinks sweeps for smoke runs
 //   DD_BENCH_THREADS  — SGD workers per trainer (default 1; 0 = all cores)
+//   DD_BENCH_METRICS  — path to write a training-telemetry snapshot when
+//                       the bench exits (.csv = CSV, else JSON)
 
 #ifndef DEEPDIRECT_BENCH_BENCH_COMMON_H_
 #define DEEPDIRECT_BENCH_BENCH_COMMON_H_
@@ -13,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/csv_writer.h"
 
 namespace deepdirect::bench {
@@ -38,6 +41,37 @@ inline size_t BenchThreads() {
   if (env == nullptr) return 1;
   return static_cast<size_t>(std::strtoull(env, nullptr, 10));
 }
+
+/// Scoped DD_BENCH_METRICS hook: declared first in a bench's main(), it
+/// switches the obs registry on when the env var names a path and writes
+/// the merged snapshot there when the bench finishes.
+class BenchMetricsGuard {
+ public:
+  BenchMetricsGuard() : path_(std::getenv("DD_BENCH_METRICS")) {
+    if (path_ != nullptr) obs::Registry::Default().set_enabled(true);
+  }
+
+  ~BenchMetricsGuard() {
+    if (path_ == nullptr) return;
+    const std::string path(path_);
+    const auto snapshot = obs::Registry::Default().Snapshot();
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    const auto status =
+        csv ? snapshot.WriteCsv(path) : snapshot.WriteJson(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n", path.c_str());
+    }
+  }
+
+  BenchMetricsGuard(const BenchMetricsGuard&) = delete;
+  BenchMetricsGuard& operator=(const BenchMetricsGuard&) = delete;
+
+ private:
+  const char* path_;
+};
 
 /// Opens bench_results/<name>.csv (creating the directory).
 inline util::CsvWriter OpenResultCsv(const std::string& name) {

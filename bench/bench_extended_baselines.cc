@@ -21,6 +21,7 @@
 #include "util/timer.h"
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<data::DatasetId> datasets =

@@ -16,6 +16,7 @@
 #include "util/table_printer.h"
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<double> alphas{0.0, 0.1, 1.0, 5.0};

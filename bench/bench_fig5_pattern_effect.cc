@@ -17,6 +17,7 @@
 #include "util/table_printer.h"
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<std::pair<double, double>> groups{

@@ -55,6 +55,7 @@ Scores ProjectAndScore(const ml::Matrix& vectors,
 }  // namespace
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   std::printf("=== Fig. 7: visualization of embedding results ===\n\n");
 

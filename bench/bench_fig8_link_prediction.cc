@@ -16,6 +16,7 @@
 #include "util/table_printer.h"
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   auto configs = core::MethodConfigs::FastDefaults();

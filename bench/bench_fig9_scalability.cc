@@ -20,6 +20,7 @@
 #include "util/timer.h"
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   std::printf("=== Fig. 9: scalability of DeepDirect ===\n\n");
 

@@ -15,6 +15,7 @@
 #include "util/table_printer.h"
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   std::printf("=== Grid search with cross-validation (Sec. 6.1) ===\n\n");
 

@@ -199,4 +199,12 @@ BENCHMARK(BM_LineEmbeddingEpoch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the DD_BENCH_METRICS guard brackets the run.
+int main(int argc, char** argv) {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "util/table_printer.h"
 
 int main() {
+  deepdirect::bench::BenchMetricsGuard metrics_guard;
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   std::printf("=== Table 2: data sets (scale %.2f) ===\n", scale);

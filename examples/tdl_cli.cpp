@@ -32,6 +32,7 @@
 #include "data/datasets.h"
 #include "graph/algorithms.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
 #include "util/csv_writer.h"
 #include "util/random.h"
 
@@ -52,7 +53,10 @@ int Usage() {
                "methods: deepdirect hf line redirect-n redirect-t\n"
                "datasets: twitter livejournal epinions slashdot tencent\n"
                "--threads: SGD workers (default 1 = deterministic; 0 = all"
-               " cores)\n");
+               " cores)\n"
+               "--metrics-out: write a training-telemetry snapshot (phase"
+               " timings,\n  losses, sampler counters) to the given path"
+               " (.csv = CSV, else JSON);\n  accepted by every command\n");
   return 2;
 }
 
@@ -252,16 +256,45 @@ int RunEmbed(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-}  // namespace
+// Writes the metrics snapshot accumulated during this invocation.
+// Extension picks the format: .csv = long-form CSV, anything else = JSON.
+int WriteMetricsSnapshot(const std::string& path) {
+  const auto snapshot = obs::Registry::Default().Snapshot();
+  const bool csv = path.size() >= 4 &&
+                   path.compare(path.size() - 4, 4, ".csv") == 0;
+  const auto status =
+      csv ? snapshot.WriteCsv(path) : snapshot.WriteJson(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  return 0;
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const auto flags = ParseFlags(argc, argv, 2);
+int Dispatch(const std::string& command,
+             const std::map<std::string, std::string>& flags) {
   if (command == "generate") return RunGenerate(flags);
   if (command == "discover" || command == "quantify") {
     return RunDiscoverOrQuantify(command, flags);
   }
   if (command == "embed") return RunEmbed(flags);
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  // Telemetry must be switched on before any work runs so graph loading
+  // and every trainer record into the snapshot.
+  const bool want_metrics = flags.contains("metrics-out");
+  if (want_metrics) obs::Registry::Default().set_enabled(true);
+  const int rc = Dispatch(command, flags);
+  if (want_metrics && rc == 0) {
+    return WriteMetricsSnapshot(flags.at("metrics-out"));
+  }
+  return rc;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "ml/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/sgd_driver.h"
 #include "util/alias_table.h"
 #include "util/random.h"
@@ -23,6 +25,40 @@ struct PatternInfo {
   std::vector<std::pair<uint32_t, uint32_t>> triad_pairs;
 };
 
+// Per-worker E-Step sampler tallies, accumulated with plain increments in
+// the step body (each worker owns one padded slot) and flushed into obs
+// counters once after the run — the hot loop never touches shared metrics.
+struct alignas(64) EStepTally {
+  uint64_t resamples = 0;       ///< leaf-destination pair redraws
+  uint64_t neg_collisions = 0;  ///< negative draw hit the positive context
+  uint64_t labeled = 0;         ///< steps whose source arc is labeled
+  uint64_t degree_pattern = 0;  ///< steps with the degree pattern active
+  uint64_t triad_pattern = 0;   ///< steps with a non-empty triad set
+};
+
+void FlushTallies(const std::vector<EStepTally>& tallies) {
+  if (!obs::Enabled()) return;
+  EStepTally total;
+  for (const EStepTally& t : tallies) {
+    total.resamples += t.resamples;
+    total.neg_collisions += t.neg_collisions;
+    total.labeled += t.labeled;
+    total.degree_pattern += t.degree_pattern;
+    total.triad_pattern += t.triad_pattern;
+  }
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("deepdirect.estep.sampler.resamples")
+      ->Add(total.resamples);
+  registry.GetCounter("deepdirect.estep.sampler.negative_collisions")
+      ->Add(total.neg_collisions);
+  registry.GetCounter("deepdirect.estep.sampler.labeled_steps")
+      ->Add(total.labeled);
+  registry.GetCounter("deepdirect.estep.sampler.degree_pattern_steps")
+      ->Add(total.degree_pattern);
+  registry.GetCounter("deepdirect.estep.sampler.triad_pattern_steps")
+      ->Add(total.triad_pattern);
+}
+
 }  // namespace
 
 std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
@@ -31,6 +67,10 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
   DD_CHECK_GT(config.dimensions, 0u);
   DD_CHECK_GE(config.epochs, 0.0);
 
+  obs::PhaseScope train_phase("deepdirect.train");
+  // Sub-phase scope: emplace() closes the previous span and opens the next.
+  std::optional<obs::PhaseScope> phase;
+  phase.emplace("deepdirect.preprocess");
   TieIndex index(g);
   const size_t num_arcs = index.num_arcs();
   const size_t l = config.dimensions;
@@ -74,6 +114,7 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
   }
 
   // --- E-Step --------------------------------------------------------------
+  phase.emplace("deepdirect.estep");
   ml::Matrix& m = model->embeddings_;
   ml::Matrix n(num_arcs, l);  // connection matrix N
   const float init = 0.5f / static_cast<float>(l);
@@ -104,7 +145,11 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
   const uint64_t iterations = static_cast<uint64_t>(
       config.epochs * static_cast<double>(idx.NumConnectedTiePairs()));
 
-  const bool track_loss = static_cast<bool>(config.progress);
+  // Loss tracking costs a LogSigmoid per sample; pay it when the caller
+  // listens (progress callback) or telemetry is being recorded. The loss
+  // value never feeds back into updates, so tracking cannot perturb them.
+  const bool track_loss =
+      static_cast<bool>(config.progress) || obs::Enabled();
 
   train::SgdOptions options;
   options.steps = iterations;
@@ -113,14 +158,17 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
   options.shard_seed = config.seed;
   options.progress = config.progress;
   options.report_every = config.report_every;
+  options.metrics_prefix = "train.deepdirect.estep";
   train::SgdDriver driver(options);
 
   std::vector<std::vector<double>> grad_scratch(
       driver.num_workers(), std::vector<double>(l, 0.0));
+  std::vector<EStepTally> tallies(driver.num_workers());
 
   driver.Run(rng, [&](auto access, const train::SgdStep& ctx) -> double {
     using A = decltype(access);
     std::vector<double>& grad_m = grad_scratch[ctx.worker];
+    EStepTally& tally = tallies[ctx.worker];
     util::Rng& r = ctx.rng;
     const double lr = ctx.lr;
     const double progress = static_cast<double>(ctx.step) /
@@ -134,6 +182,7 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
     size_t e = source_table.Sample(r);
     size_t e_prime = idx.SampleConnectedTie(e, r);
     while (e_prime >= num_arcs) {
+      ++tally.resamples;
       e = source_table.Sample(r);
       e_prime = idx.SampleConnectedTie(e, r);
     }
@@ -156,7 +205,10 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
     }
     for (size_t neg = 0; neg < config.negative_samples; ++neg) {
       const size_t f = noise_table.Sample(r);
-      if (f == e_prime) continue;
+      if (f == e_prime) {
+        ++tally.neg_collisions;
+        continue;
+      }
       auto n_neg = n.Row(f);
       const double score = train::DotRows<A>(m_e, n_neg);
       const double g_neg = ml::Sigmoid(score);
@@ -194,14 +246,17 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
                               : 1.0 / std::max<double>(1.0, idx.TieDegree(e)));
 
       if (idx.IsLabeled(e)) {
+        ++tally.labeled;
         g_b += config.alpha * degree_scale * (prediction - idx.Label(e));
       } else {
         const PatternInfo& info = patterns[pattern_slot[e]];
         if (info.degree_active) {
+          ++tally.degree_pattern;
           g_b += config.beta * degree_scale *
                  (prediction - info.degree_pseudo_label);
         }
         if (!info.triad_pairs.empty()) {
+          ++tally.triad_pattern;
           // y^t from current predictions over t(u, v) (Eq. 15).
           double y_t = 0.0;
           for (const auto& [uw, vw] : info.triad_pairs) {
@@ -249,11 +304,13 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
     return step_loss;
   });
 
+  FlushTallies(tallies);
   model->e_step_weights_ = w_prime;
   model->e_step_bias_ = b_prime;
 
   // --- D-Step (Sec. 4.5.2): warm-started L2 logistic regression on the
   // embedding rows of labeled arcs.
+  phase.emplace("deepdirect.dstep");
   ml::Dataset data(l);
   std::vector<double> features(l);
   for (size_t e = 0; e < num_arcs; ++e) {

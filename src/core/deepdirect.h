@@ -91,7 +91,8 @@ struct DeepDirectConfig {
   /// D-Step logistic regression settings.
   ml::LogisticRegressionConfig d_step = {
       .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
-      .l2 = 1e-4, .seed = 23, .shuffle = true};
+      .l2 = 1e-4, .seed = 23, .shuffle = true,
+      .metrics_prefix = "train.deepdirect.dstep"};
   /// Which D-Step head realizes the directionality function. The logistic
   /// regression is always trained (it provides the warm-started Eq. 26
   /// head); selecting kMlp additionally trains a nonlinear head and routes

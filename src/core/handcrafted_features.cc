@@ -2,6 +2,8 @@
 
 #include "graph/centrality.h"
 #include "graph/triads.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace deepdirect::core {
@@ -11,7 +13,11 @@ using graph::NodeId;
 
 HandcraftedFeatureExtractor::HandcraftedFeatureExtractor(
     const MixedSocialNetwork& g, const HandcraftedFeatureConfig& config)
-    : graph_(g) {
+    : graph_(g),
+      extract_calls_(obs::Registry::Default().GetCounter(
+          "hf.features.extract_calls")) {
+  // The centrality precomputation dominates HF training time; trace it.
+  obs::PhaseScope phase("hf.precompute");
   const size_t n = g.num_nodes();
   deg_out_.resize(n);
   deg_in_.resize(n);
@@ -34,6 +40,7 @@ HandcraftedFeatureExtractor::HandcraftedFeatureExtractor(
 void HandcraftedFeatureExtractor::Extract(NodeId u, NodeId v,
                                           std::span<double> out) const {
   DD_CHECK_EQ(out.size(), kNumHandcraftedFeatures);
+  if (obs::Enabled()) extract_calls_->Add(1);
   out[0] = deg_out_[u];
   out[1] = deg_out_[v];
   out[2] = deg_in_[u];

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/mixed_graph.h"
+#include "obs/metrics.h"
 
 namespace deepdirect::core {
 
@@ -52,6 +53,7 @@ class HandcraftedFeatureExtractor {
 
  private:
   const graph::MixedSocialNetwork& graph_;
+  obs::Counter* extract_calls_;  ///< cached registry handle (stable)
   std::vector<double> deg_out_;
   std::vector<double> deg_in_;
   std::vector<double> closeness_;

@@ -73,6 +73,7 @@ LineEmbedding LineEmbedding::Train(const MixedSocialNetwork& g,
   options.num_threads = config.num_threads;
   options.lr = config.Schedule();
   options.shard_seed = config.seed;
+  options.metrics_prefix = config.metrics_prefix;
   train::SgdDriver driver(options);
 
   std::vector<std::vector<double>> grad_scratch(

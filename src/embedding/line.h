@@ -15,6 +15,7 @@
 #define DEEPDIRECT_EMBEDDING_LINE_H_
 
 #include <span>
+#include <string>
 
 #include "graph/mixed_graph.h"
 #include "ml/matrix.h"
@@ -41,6 +42,8 @@ struct LineConfig {
   /// serial path; > 1 runs Hogwild-style lock-free updates, which are fast
   /// but not bit-reproducible.
   size_t num_threads = 1;
+  /// Telemetry prefix for the obs registry; empty disables recording.
+  std::string metrics_prefix = "train.line";
 
   /// The decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

@@ -57,6 +57,7 @@ ml::Matrix TrainSkipGram(const WalkCorpus& corpus, size_t num_nodes,
   options.num_threads = config.num_threads;
   options.lr = config.Schedule();
   options.shard_seed = config.seed;
+  options.metrics_prefix = config.metrics_prefix;
   train::SgdDriver driver(options);
 
   std::vector<std::vector<double>> grad_scratch(

@@ -5,6 +5,8 @@
 #ifndef DEEPDIRECT_EMBEDDING_SKIPGRAM_H_
 #define DEEPDIRECT_EMBEDDING_SKIPGRAM_H_
 
+#include <string>
+
 #include "embedding/random_walks.h"
 #include "ml/matrix.h"
 #include "train/lr_schedule.h"
@@ -25,6 +27,8 @@ struct SkipGramConfig {
   /// serial path; > 1 runs Hogwild-style lock-free updates, which are fast
   /// but not bit-reproducible.
   size_t num_threads = 1;
+  /// Telemetry prefix for the obs registry; empty disables recording.
+  std::string metrics_prefix = "train.skipgram";
 
   /// The decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

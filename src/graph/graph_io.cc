@@ -5,6 +5,9 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace deepdirect::graph {
 
 util::Status SaveEdgeList(const MixedSocialNetwork& g,
@@ -42,6 +45,7 @@ util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path) {
 }
 
 util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in) {
+  obs::PhaseScope phase("graph.load");
   struct ParsedTie {
     NodeId u, v;
     TieType type;
@@ -106,6 +110,13 @@ util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in) {
   GraphBuilder builder(num_nodes);
   for (const ParsedTie& t : ties) {
     DD_RETURN_NOT_OK(builder.AddTie(t.u, t.v, t.type));
+  }
+  if (obs::Enabled()) {
+    obs::Registry& registry = obs::Registry::Default();
+    registry.GetCounter("graph.load.ties")->Add(ties.size());
+    registry.GetCounter("graph.load.lines")->Add(line_number);
+    registry.GetGauge("graph.load.nodes")
+        ->Set(static_cast<double>(num_nodes));
   }
   return std::move(builder).Build();
 }

@@ -49,6 +49,7 @@ double LogisticRegression::Train(const Dataset& data,
     options.num_threads = config.num_threads;
     options.lr = config.Schedule();
     options.shard_seed = config.seed;  // body draws no randomness; unused
+    options.metrics_prefix = config.metrics_prefix;
     train::SgdDriver driver(options);
 
     const double epoch_loss = driver.Run(

@@ -8,6 +8,7 @@
 #define DEEPDIRECT_ML_LOGISTIC_REGRESSION_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ml/dataset.h"
@@ -31,6 +32,10 @@ struct LogisticRegressionConfig {
   /// serial path; > 1 runs Hogwild-style lock-free updates, which are fast
   /// but not bit-reproducible.
   size_t num_threads = 1;
+  /// Telemetry prefix for the obs registry (one ".run_loss" entry per
+  /// epoch); empty disables recording. Hosts that embed this trainer set a
+  /// distinguishing prefix (e.g. DeepDirect's D-Step).
+  std::string metrics_prefix = "train.logreg";
 
   /// The decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

@@ -1,0 +1,48 @@
+// RAII phase tracing on top of the metrics registry.
+//
+// A PhaseScope marks one named span of work (graph loading, E-Step,
+// D-Step, ...). On destruction it records the span's wall time into the
+// histogram "phase.<name>.seconds" and bumps the counter
+// "phase.<name>.calls" in the default registry. Scopes are intended for
+// coarse phases — construction does two registry lookups under a mutex —
+// never for per-step instrumentation.
+//
+// When the registry is disabled (runtime) or the layer is compiled out,
+// constructing a scope does nothing measurable.
+
+#ifndef DEEPDIRECT_OBS_TRACE_H_
+#define DEEPDIRECT_OBS_TRACE_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace deepdirect::obs {
+
+/// RAII span that times `phase.<name>` into the default registry.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const std::string& name) {
+    if (!Enabled()) return;
+    Registry& registry = Registry::Default();
+    seconds_ = registry.GetHistogram("phase." + name + ".seconds");
+    registry.GetCounter("phase." + name + ".calls")->Add(1);
+    timer_.Reset();
+  }
+
+  ~PhaseScope() {
+    if (seconds_ != nullptr) seconds_->Observe(timer_.ElapsedSeconds());
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Histogram* seconds_ = nullptr;
+  util::Timer timer_;
+};
+
+}  // namespace deepdirect::obs
+
+#endif  // DEEPDIRECT_OBS_TRACE_H_

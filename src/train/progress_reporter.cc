@@ -1,11 +1,17 @@
 #include "train/progress_reporter.h"
 
+#include "obs/metrics.h"
+
 namespace deepdirect::train {
 
 ProgressReporter::ProgressReporter(ProgressCallback callback,
                                    uint64_t report_every, uint64_t total,
-                                   uint64_t step_offset)
+                                   uint64_t step_offset,
+                                   std::string metrics_prefix)
     : callback_(std::move(callback)),
+      loss_series_(obs::Enabled() && !metrics_prefix.empty()
+                       ? metrics_prefix + ".loss"
+                       : ""),
       report_every_(report_every == 0 ? 1 : report_every),
       total_(total),
       step_offset_(step_offset) {}
@@ -13,14 +19,18 @@ ProgressReporter::ProgressReporter(ProgressCallback callback,
 void ProgressReporter::Record(uint64_t steps, double loss_sum) {
   const uint64_t processed =
       processed_.fetch_add(steps, std::memory_order_relaxed) + steps;
-  if (!callback_) return;
+  if (!callback_ && loss_series_.empty()) return;
   std::unique_lock<std::mutex> lock(mu_);
   window_steps_ += steps;
   window_loss_ += loss_sum;
   if (window_steps_ >= report_every_ || step_offset_ + processed == total_) {
     if (window_steps_ > 0) {
-      callback_(step_offset_ + processed, total_,
-                window_loss_ / static_cast<double>(window_steps_));
+      const double mean_loss =
+          window_loss_ / static_cast<double>(window_steps_);
+      if (callback_) callback_(step_offset_ + processed, total_, mean_loss);
+      if (!loss_series_.empty()) {
+        obs::Registry::Default().Append(loss_series_, mean_loss);
+      }
     }
     window_steps_ = 0;
     window_loss_ = 0.0;

@@ -5,6 +5,10 @@
 // the budget), reproducing the historical DeepDirect reporting cadence
 // exactly in the single-worker path. Thread-safe: Hogwild workers record
 // batches under a mutex; the callback is never invoked concurrently.
+//
+// When constructed with a metrics prefix and the obs registry is enabled,
+// every closed window additionally appends its mean loss to the series
+// "<prefix>.loss" — the loss curve exported by --metrics-out snapshots.
 
 #ifndef DEEPDIRECT_TRAIN_PROGRESS_REPORTER_H_
 #define DEEPDIRECT_TRAIN_PROGRESS_REPORTER_H_
@@ -13,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 
 #include "util/timer.h"
 
@@ -27,9 +32,12 @@ class ProgressReporter {
  public:
   /// `total` is the global step budget and `step_offset` the global index
   /// of the first step this reporter will see (non-zero when a trainer
-  /// drives several epoch-sized runs against one budget).
+  /// drives several epoch-sized runs against one budget). A non-empty
+  /// `metrics_prefix` mirrors window losses into the obs registry when it
+  /// is enabled.
   ProgressReporter(ProgressCallback callback, uint64_t report_every,
-                   uint64_t total, uint64_t step_offset = 0);
+                   uint64_t total, uint64_t step_offset = 0,
+                   std::string metrics_prefix = "");
 
   /// Records `steps` completed steps whose losses sum to `loss_sum`.
   void Record(uint64_t steps, double loss_sum);
@@ -44,6 +52,7 @@ class ProgressReporter {
 
  private:
   ProgressCallback callback_;
+  const std::string loss_series_;  ///< empty = no metrics mirroring
   const uint64_t report_every_;
   const uint64_t total_;
   const uint64_t step_offset_;

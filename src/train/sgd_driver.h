@@ -22,8 +22,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "train/hogwild.h"
 #include "train/lr_schedule.h"
 #include "train/progress_reporter.h"
@@ -53,6 +55,13 @@ struct SgdOptions {
   ProgressCallback progress;
   /// Callback cadence in steps.
   uint64_t report_every = 1'000'000;
+  /// When non-empty and the obs registry is enabled, each Run records under
+  /// this prefix: counter ".steps", series ".run_loss" (one entry per Run —
+  /// per epoch for epoch-driven trainers), series ".loss" (windowed, via
+  /// the ProgressReporter), gauge ".examples_per_sec", and histogram
+  /// ".worker_steps" (one observation per worker). Recording happens off
+  /// the step hot path and never draws from any Rng.
+  std::string metrics_prefix;
 };
 
 /// One step's execution context, handed to the body.
@@ -80,7 +89,8 @@ class SgdDriver {
                                ? options_.total_steps
                                : options_.step_offset + steps;
     ProgressReporter reporter(options_.progress, options_.report_every,
-                              total, options_.step_offset);
+                              total, options_.step_offset,
+                              options_.metrics_prefix);
     if (workers_ == 1) {
       double loss_sum = 0.0;
       for (uint64_t i = 0; i < steps; ++i) {
@@ -90,6 +100,7 @@ class SgdDriver {
         loss_sum += loss;
         reporter.Record(1, loss);
       }
+      RecordRunMetrics(reporter, loss_sum);
       return loss_sum;
     }
 
@@ -120,10 +131,33 @@ class SgdDriver {
     // scheduling (the updates themselves still race, by design).
     double loss_sum = 0.0;
     for (double v : worker_loss) loss_sum += v;
+    RecordRunMetrics(reporter, loss_sum);
     return loss_sum;
   }
 
  private:
+  /// Post-run telemetry (see SgdOptions::metrics_prefix). Cold path: runs
+  /// once per Run, after every worker has joined.
+  void RecordRunMetrics(const ProgressReporter& reporter, double loss_sum) {
+    if (options_.metrics_prefix.empty() || !obs::Enabled()) return;
+    const std::string& prefix = options_.metrics_prefix;
+    obs::Registry& registry = obs::Registry::Default();
+    const uint64_t steps = options_.steps;
+    registry.GetCounter(prefix + ".steps")->Add(steps);
+    registry.Append(prefix + ".run_loss", loss_sum);
+    registry.GetGauge(prefix + ".examples_per_sec")
+        ->Set(reporter.StepsPerSec());
+    obs::Histogram* worker_steps =
+        registry.GetHistogram(prefix + ".worker_steps");
+    for (size_t w = 0; w < workers_; ++w) {
+      // Worker w runs global steps w, w+N, w+2N, … — its share of the
+      // strided budget.
+      const uint64_t share =
+          steps > w ? (steps - w + workers_ - 1) / workers_ : 0;
+      worker_steps->Observe(static_cast<double>(share));
+    }
+  }
+
   // Workers flush loss windows to the shared reporter in batches to keep
   // the mutex off the hot path.
   static constexpr uint64_t kWorkerFlushSteps = 1024;

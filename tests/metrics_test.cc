@@ -1,0 +1,203 @@
+// Golden-value tests for the evaluation metrics the paper's experiments
+// report: AUC (Sec. 6.3) against hand-computed rank statistics including
+// tied scores and degenerate one-class inputs, threshold accuracy, and
+// direction-discovery accuracy (Sec. 6.2) driven by fixed-prediction fake
+// models over a HideDirections split with known ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/applications.h"
+#include "core/directionality.h"
+#include "graph/algorithms.h"
+#include "graph/mixed_graph.h"
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace deepdirect {
+namespace {
+
+using graph::TieType;
+
+// ------------------------------------------------------------------- AUC
+
+TEST(AucGoldenTest, HandComputedSixPointRanking) {
+  // Positives score {0.9, 0.7, 0.3}, negatives {0.8, 0.4, 0.2}.
+  // Of the 9 positive/negative pairs, the positive wins 6:
+  //   0.9 beats all three; 0.7 beats 0.4, 0.2; 0.3 beats 0.2.
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.4, 0.3, 0.2};
+  const std::vector<int> labels{1, 0, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc(scores, labels), 6.0 / 9.0);
+}
+
+TEST(AucGoldenTest, TiedScoresEarnHalfCredit) {
+  // Positives {0.6, 0.4} vs negatives {0.6, 0.4}: each cross-class pair
+  // with equal scores counts 0.5, the rest split 1/0 symmetrically:
+  //   (0.6, 0.6) = 0.5, (0.6, 0.4) = 1, (0.4, 0.6) = 0, (0.4, 0.4) = 0.5.
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({0.6, 0.4, 0.6, 0.4}, {1, 1, 0, 0}),
+                   0.5);
+  // All scores identical: every pair ties, AUC is exactly chance.
+  EXPECT_DOUBLE_EQ(
+      ml::AreaUnderRoc({0.3, 0.3, 0.3, 0.3, 0.3}, {1, 0, 1, 0, 0}), 0.5);
+}
+
+TEST(AucGoldenTest, PartialTieBlockGolden) {
+  // Positives {0.8, 0.5}, negatives {0.5, 0.5, 0.1}: pairs are
+  //   0.8 vs {0.5, 0.5, 0.1} = 3; 0.5 vs {0.5, 0.5, 0.1} = 0.5 + 0.5 + 1.
+  // AUC = 5 / 6.
+  EXPECT_DOUBLE_EQ(
+      ml::AreaUnderRoc({0.8, 0.5, 0.5, 0.5, 0.1}, {1, 1, 0, 0, 0}),
+      5.0 / 6.0);
+}
+
+TEST(AucGoldenTest, OneClassAndEmptyInputsReturnChance) {
+  // With either class absent the rank statistic is undefined; the
+  // implementation pins it to 0.5 so sweeps over degenerate holdouts
+  // (e.g. a split that removed only directed ties) stay plottable.
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({0.2, 0.6, 0.9}, {1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({0.2, 0.6, 0.9}, {0, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({}, {}), 0.5);
+}
+
+TEST(AucGoldenTest, PerfectAndInvertedRankings) {
+  const std::vector<int> labels{0, 1, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({0.1, 0.7, 0.3, 0.8, 0.9}, labels), 1.0);
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({0.9, 0.3, 0.7, 0.2, 0.1}, labels), 0.0);
+}
+
+// -------------------------------------------------------------- Accuracy
+
+TEST(AccuracyGoldenTest, ThresholdsAtHalfWithBoundaryPositive) {
+  // A score of exactly 0.5 predicts the positive class (>= threshold).
+  EXPECT_DOUBLE_EQ(ml::Accuracy({0.5}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(ml::Accuracy({0.5}, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(ml::Accuracy({0.9, 0.1, 0.6, 0.2}, {1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(ml::Accuracy({}, {}), 0.0);
+}
+
+// --------------------------------------- direction-discovery accuracy
+
+// A fake directionality function with a fixed global preference:
+// d(u, v) = forward when u < v, 1 - forward otherwise. With forward > 0.5
+// it always predicts the low-id endpoint as proposer; with forward = 0.5
+// every tie scores d(u,v) == d(v,u).
+class FixedDirectionModel : public core::DirectionalityModel {
+ public:
+  explicit FixedDirectionModel(double forward) : forward_(forward) {}
+
+  double Directionality(graph::NodeId u, graph::NodeId v) const override {
+    if (u == v) return 0.5;
+    return u < v ? forward_ : 1.0 - forward_;
+  }
+
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double forward_;
+};
+
+// A 6-node network whose directed ties all point low id -> high id, so a
+// golden accuracy holds no matter which ties HideDirections samples.
+graph::MixedSocialNetwork ChainNetwork() {
+  graph::GraphBuilder builder(6);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(1, 2, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(2, 3, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(3, 4, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(4, 5, TieType::kBidirectional).ok());
+  return std::move(builder).Build();
+}
+
+// Like ChainNetwork but with one contrarian tie (4 -> 3).
+graph::MixedSocialNetwork MixedNetwork() {
+  graph::GraphBuilder builder(6);
+  EXPECT_TRUE(builder.AddTie(0, 1, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(1, 2, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(2, 3, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(4, 3, TieType::kDirected).ok());
+  EXPECT_TRUE(builder.AddTie(4, 5, TieType::kBidirectional).ok());
+  return std::move(builder).Build();
+}
+
+// Hides as many directed ties as the protocol allows (it always keeps one
+// so the TDL problem stays well-posed): 3 of the 4 become ground truth.
+graph::HiddenDirectionSplit MostlyHiddenSplit(
+    const graph::MixedSocialNetwork& net) {
+  util::Rng rng(3);
+  auto split = graph::HideDirections(net, 0.0, rng);
+  EXPECT_EQ(split.hidden_true_arcs.size(), 3u);
+  EXPECT_EQ(split.network.num_directed_ties(), 1u);
+  return split;
+}
+
+TEST(DirectionDiscoveryGoldenTest, LowToHighModelIsPerfectOnChain) {
+  // Every hidden tie points low -> high, so the low -> high model is
+  // exactly right on each one regardless of which tie stayed directed.
+  const auto split = MostlyHiddenSplit(ChainNetwork());
+  const FixedDirectionModel model(0.9);
+  EXPECT_DOUBLE_EQ(core::DirectionDiscoveryAccuracy(split, model), 1.0);
+}
+
+TEST(DirectionDiscoveryGoldenTest, InvertedModelScoresZeroOnChain) {
+  const auto split = MostlyHiddenSplit(ChainNetwork());
+  const FixedDirectionModel model(0.1);
+  EXPECT_DOUBLE_EQ(core::DirectionDiscoveryAccuracy(split, model), 0.0);
+}
+
+TEST(DirectionDiscoveryGoldenTest, ContrarianTiesScoreAgainstTruth) {
+  // With one tie pointing high -> low, the low -> high model's score is
+  // exactly the fraction of *hidden* ties that follow the id order.
+  const auto split = MostlyHiddenSplit(MixedNetwork());
+  size_t low_to_high = 0;
+  for (graph::ArcId arc : split.hidden_true_arcs) {
+    low_to_high += split.network.arc(arc).src < split.network.arc(arc).dst;
+  }
+  const FixedDirectionModel model(0.9);
+  EXPECT_DOUBLE_EQ(core::DirectionDiscoveryAccuracy(split, model),
+                   static_cast<double>(low_to_high) / 3.0);
+}
+
+TEST(DirectionDiscoveryGoldenTest, TieScoresEarnExactlyHalfCredit) {
+  // d(u, v) == d(v, u) on every tie must score chance, not perfect: the
+  // evaluator half-credits exact ties so a symmetric model cannot win by
+  // Eq. 28's ">=" merely because the true orientation is queried first.
+  const auto split = MostlyHiddenSplit(ChainNetwork());
+  const FixedDirectionModel model(0.5);
+  EXPECT_DOUBLE_EQ(core::DirectionDiscoveryAccuracy(split, model), 0.5);
+}
+
+TEST(DirectionDiscoveryGoldenTest, NoHiddenTiesScoresZero) {
+  // An all-one-class edge case: nothing was hidden, so there is no
+  // ground truth to score against and the accuracy is defined as 0.
+  const auto net = ChainNetwork();
+  util::Rng rng(3);
+  const auto split = graph::HideDirections(net, 1.0, rng);
+  EXPECT_TRUE(split.hidden_true_arcs.empty());
+  const FixedDirectionModel model(0.9);
+  EXPECT_DOUBLE_EQ(core::DirectionDiscoveryAccuracy(split, model), 0.0);
+}
+
+TEST(DirectionDiscoveryGoldenTest, PartialHidingScoresOnlyHiddenTies) {
+  // Hide half of the directed ties; the model is perfect on low -> high
+  // ties, so the score is the fraction of hidden ties that point that way.
+  const auto net = MixedNetwork();
+  util::Rng rng(17);
+  const auto split = graph::HideDirections(net, 0.5, rng);
+  ASSERT_FALSE(split.hidden_true_arcs.empty());
+  size_t low_to_high = 0;
+  for (graph::ArcId arc : split.hidden_true_arcs) {
+    low_to_high += split.network.arc(arc).src < split.network.arc(arc).dst;
+  }
+  const FixedDirectionModel model(0.9);
+  EXPECT_DOUBLE_EQ(
+      core::DirectionDiscoveryAccuracy(split, model),
+      static_cast<double>(low_to_high) /
+          static_cast<double>(split.hidden_true_arcs.size()));
+}
+
+}  // namespace
+}  // namespace deepdirect

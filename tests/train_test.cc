@@ -41,11 +41,60 @@ TEST(LrScheduleTest, ZeroTotalReturnsInitial) {
   EXPECT_DOUBLE_EQ(lr.At(0, 0), 0.05);
 }
 
+TEST(LrScheduleTest, RateIsNeverNegativeOrNanThroughTheFinalStep) {
+  // Both decay forms, including a zero floor, must stay finite and
+  // non-negative across the whole budget and land exactly on
+  // initial · min_fraction at t = T (the step the Hogwild stride
+  // partition can actually reach).
+  for (const auto decay : {LrSchedule::Decay::kClampedLinear,
+                           LrSchedule::Decay::kInterpolatedLinear}) {
+    for (const double min_fraction : {0.0, 0.01, 0.5, 1.0}) {
+      const LrSchedule lr{0.05, min_fraction, decay};
+      for (const uint64_t total : {uint64_t{1}, uint64_t{7},
+                                   uint64_t{1'000'000}}) {
+        for (const uint64_t step : {uint64_t{0}, total / 2, total - 1,
+                                    total}) {
+          const double rate = lr.At(step, total);
+          EXPECT_TRUE(std::isfinite(rate))
+              << "decay " << static_cast<int>(decay) << " step " << step
+              << "/" << total;
+          EXPECT_GE(rate, 0.0);
+          EXPECT_LE(rate, 0.05);
+        }
+        EXPECT_DOUBLE_EQ(lr.At(total, total), 0.05 * min_fraction);
+      }
+    }
+  }
+}
+
 TEST(ShardedRngTest, ShardsAreReproducible) {
   const ShardedRng shards(77);
   util::Rng a = shards.MakeShard(3);
   util::Rng b = shards.MakeShard(3);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ShardedRngTest, ManyShardStreamsArePairwiseIndependent) {
+  // Every pair of worker streams must be decorrelated, not just shard 0
+  // and 1: a weak mixing constant could collapse two distant shards onto
+  // the same Weyl point while the adjacent-shard test still passes.
+  constexpr size_t kShards = 8;
+  constexpr size_t kDraws = 64;
+  const ShardedRng shards(123);
+  std::vector<std::vector<uint64_t>> streams(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    util::Rng rng = shards.MakeShard(s);
+    for (size_t i = 0; i < kDraws; ++i) streams[s].push_back(rng.Next());
+  }
+  for (size_t a = 0; a < kShards; ++a) {
+    for (size_t b = a + 1; b < kShards; ++b) {
+      size_t matches = 0;
+      for (size_t i = 0; i < kDraws; ++i) {
+        matches += streams[a][i] == streams[b][i];
+      }
+      EXPECT_LT(matches, 2u) << "shard " << a << " vs shard " << b;
+    }
+  }
 }
 
 TEST(ShardedRngTest, ShardsDifferFromEachOtherAndTheBaseStream) {
@@ -80,6 +129,24 @@ TEST(ThreadPoolTest, WaitMakesTaskWritesVisible) {
   pool.Submit([&] { value = 42; });
   pool.Wait();
   EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, ZeroTasksReturnsWithoutRunningAnything) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  pool.Wait();  // nothing in flight: must not hang
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanTasksRunsEachExactlyOnce) {
+  // Idle workers must neither steal a task twice nor deadlock the drain.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
