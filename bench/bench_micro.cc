@@ -185,6 +185,87 @@ BENCHMARK(BM_DeepDirectEStepThreads)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// Shared CSV for the preprocessing worker-scaling rows.
+util::CsvWriter& PreprocessThreadsCsv() {
+  static util::CsvWriter csv = [] {
+    util::CsvWriter writer(
+        bench::OpenResultCsv("preprocess_threads_throughput"));
+    writer.WriteRow({"threads", "seconds", "speedup_vs_1"});
+    return writer;
+  }();
+  return csv;
+}
+
+void BM_PreprocessThreads(benchmark::State& state) {
+  // One full preprocessing sweep — graph build from the arc list, pattern
+  // precompute, sampled closeness + betweenness — per iteration, against
+  // the deterministic worker count. Output is bit-identical at any thread
+  // count, so this measures pure scheduling/scaling overhead. Speedup is
+  // bounded by the host's core count.
+  const auto& net = BenchNetwork();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const core::TieIndex index(net);
+  core::DeepDirectConfig config;
+  config.num_threads = threads;
+  constexpr size_t kPivots = 128;
+  {
+    // Warm the shared preprocessing pool so the one-time thread spawn is
+    // not charged to the first timed sweep.
+    util::Rng warm(1);
+    graph::ClosenessCentralitySampled(net, 2, warm, threads);
+  }
+
+  double seconds = 0.0;
+  for (auto _ : state) {
+    // Tie ingestion (AddTie) is inherently serial input prep, not part of
+    // the parallel pipeline under test — keep it off the clock.
+    state.PauseTiming();
+    graph::GraphBuilder builder(net.num_nodes());
+    for (graph::ArcId id = 0; id < net.num_arcs(); ++id) {
+      const auto& arc = net.arc(id);
+      if (arc.type != graph::TieType::kDirected && arc.src > arc.dst) {
+        continue;
+      }
+      benchmark::DoNotOptimize(builder.AddTie(arc.src, arc.dst, arc.type));
+    }
+    builder.SetNumThreads(threads);
+    state.ResumeTiming();
+
+    util::Timer timer;
+    const auto rebuilt = std::move(builder).Build();
+    benchmark::DoNotOptimize(rebuilt.num_arcs());
+
+    const auto patterns = core::PrecomputePatterns(net, index, config);
+    benchmark::DoNotOptimize(patterns.triad_pairs.size());
+
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(
+        graph::ClosenessCentralitySampled(net, kPivots, rng, threads));
+    benchmark::DoNotOptimize(
+        graph::BetweennessCentralitySampled(net, kPivots, rng, threads));
+    seconds += timer.ElapsedSeconds();
+  }
+  const double elapsed = seconds / static_cast<double>(state.iterations());
+
+  // Keyed on the serial run having gone first (Arg order below).
+  static double serial_seconds = 0.0;
+  if (threads == 1) serial_seconds = elapsed;
+  const double speedup =
+      (elapsed > 0.0 && serial_seconds > 0.0) ? serial_seconds / elapsed
+                                              : 0.0;
+  state.counters["speedup_vs_1"] = speedup;
+  PreprocessThreadsCsv().WriteRow({std::to_string(state.range(0)),
+                                   std::to_string(elapsed),
+                                   std::to_string(speedup)});
+}
+BENCHMARK(BM_PreprocessThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(20)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_LineEmbeddingEpoch(benchmark::State& state) {
   const auto& net = BenchNetwork();
   embedding::LineConfig config;

@@ -52,8 +52,10 @@ int Usage() {
                " [--threads N]\n"
                "methods: deepdirect hf line redirect-n redirect-t\n"
                "datasets: twitter livejournal epinions slashdot tencent\n"
-               "--threads: SGD workers (default 1 = deterministic; 0 = all"
-               " cores)\n"
+               "--threads: workers for graph loading, preprocessing, and"
+               " SGD\n  (default 1; 0 = all cores; preprocessing stays"
+               " bit-identical at any\n  count, multi-worker SGD is"
+               " Hogwild)\n"
                "--metrics-out: write a training-telemetry snapshot (phase"
                " timings,\n  losses, sampler counters) to the given path"
                " (.csv = CSV, else JSON);\n  accepted by every command\n");
@@ -118,11 +120,26 @@ int RunGenerate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Parses the optional --threads flag; nullopt after printing an error when
+// the value is malformed, 1 (deterministic serial default) when absent.
+std::optional<size_t> ThreadsFlag(
+    const std::map<std::string, std::string>& flags) {
+  if (!flags.contains("threads")) return 1;
+  const auto threads = ParseThreads(flags.at("threads"));
+  if (!threads.has_value()) {
+    std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
+                 flags.at("threads").c_str());
+  }
+  return threads;
+}
+
 int RunDiscoverOrQuantify(const std::string& command,
                           const std::map<std::string, std::string>& flags) {
   const auto input_it = flags.find("input");
   if (input_it == flags.end()) return Usage();
-  auto loaded = graph::LoadEdgeList(input_it->second);
+  const auto threads = ThreadsFlag(flags);
+  if (!threads.has_value()) return 1;
+  auto loaded = graph::LoadEdgeList(input_it->second, *threads);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return 1;
@@ -154,15 +171,7 @@ int RunDiscoverOrQuantify(const std::string& command,
   }
 
   auto configs = core::MethodConfigs::FastDefaults();
-  if (flags.contains("threads")) {
-    const auto threads = ParseThreads(flags.at("threads"));
-    if (!threads.has_value()) {
-      std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
-                   flags.at("threads").c_str());
-      return 1;
-    }
-    configs.SetNumThreads(*threads);
-  }
+  configs.SetNumThreads(*threads);
   std::printf("training %s on %zu nodes / %zu ties (%zu directed)...\n",
               core::MethodName(*method), train_net.num_nodes(),
               train_net.num_ties(), train_net.num_directed_ties());
@@ -206,7 +215,9 @@ int RunEmbed(const std::map<std::string, std::string>& flags) {
   const auto input_it = flags.find("input");
   const auto output_it = flags.find("output");
   if (input_it == flags.end() || output_it == flags.end()) return Usage();
-  auto loaded = graph::LoadEdgeList(input_it->second);
+  const auto threads = ThreadsFlag(flags);
+  if (!threads.has_value()) return 1;
+  auto loaded = graph::LoadEdgeList(input_it->second, *threads);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return 1;
@@ -221,16 +232,8 @@ int RunEmbed(const std::map<std::string, std::string>& flags) {
   if (flags.contains("dims")) {
     config.dimensions = std::strtoull(flags.at("dims").c_str(), nullptr, 10);
   }
-  if (flags.contains("threads")) {
-    const auto threads = ParseThreads(flags.at("threads"));
-    if (!threads.has_value()) {
-      std::fprintf(stderr, "error: --threads expects a number, got '%s'\n",
-                   flags.at("threads").c_str());
-      return 1;
-    }
-    config.num_threads = *threads;
-    config.d_step.num_threads = *threads;
-  }
+  config.num_threads = *threads;
+  config.d_step.num_threads = *threads;
   std::printf("embedding %zu ties at l=%zu...\n", network.num_ties(),
               config.dimensions);
   const auto model = core::DeepDirectModel::Train(network, config);

@@ -28,9 +28,11 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
 
 # The trainer-facing test binaries: the train/ engine itself, every
 # migrated trainer (DeepDirect E/D-step, skip-gram, LINE, logistic
-# regression), and the metrics registry the trainers record into.
+# regression), the metrics registry the trainers record into, and the
+# parallel deterministic preprocessing stages (pattern precompute,
+# centrality sweeps, two-pass graph build) at num_threads=4.
 TARGETS=(train_test deepdirect_test embedding_test walks_test ml_test
-         obs_test)
+         obs_test centrality_test graph_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # Multi-worker + determinism tests exercise the Hogwild path and the serial

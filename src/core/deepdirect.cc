@@ -6,6 +6,7 @@
 #include "ml/dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "train/parallel.h"
 #include "train/sgd_driver.h"
 #include "util/alias_table.h"
 #include "util/random.h"
@@ -17,13 +18,15 @@ using graph::NodeId;
 
 namespace {
 
-// Per-undirected-arc pattern data, precomputed (Algorithm 1, lines 6–9).
-struct PatternInfo {
-  double degree_pseudo_label = 0.0;  ///< y^d (pattern-consistent form)
-  bool degree_active = false;        ///< y^d > T
-  /// Arc-index pairs (index(u,w), index(v,w)) for w ∈ t(u, v).
-  std::vector<std::pair<uint32_t, uint32_t>> triad_pairs;
-};
+// Fixed shard size for the pattern precompute: undirected arcs split into
+// blocks of this many slots, independent of the worker count.
+constexpr size_t kPatternBlock = 256;
+
+// Bound on negative-sample redraws after a collision with the positive
+// context. The noise distribution covers every closure arc, so a redraw
+// almost surely escapes in one draw; the bound only guards degenerate
+// networks where the positive context carries nearly all the noise mass.
+constexpr size_t kMaxNegativeRedraws = 32;
 
 // Per-worker E-Step sampler tallies, accumulated with plain increments in
 // the step body (each worker owns one padded slot) and flushed into obs
@@ -31,6 +34,7 @@ struct PatternInfo {
 struct alignas(64) EStepTally {
   uint64_t resamples = 0;       ///< leaf-destination pair redraws
   uint64_t neg_collisions = 0;  ///< negative draw hit the positive context
+  uint64_t negatives = 0;       ///< negatives actually trained on
   uint64_t labeled = 0;         ///< steps whose source arc is labeled
   uint64_t degree_pattern = 0;  ///< steps with the degree pattern active
   uint64_t triad_pattern = 0;   ///< steps with a non-empty triad set
@@ -42,6 +46,7 @@ void FlushTallies(const std::vector<EStepTally>& tallies) {
   for (const EStepTally& t : tallies) {
     total.resamples += t.resamples;
     total.neg_collisions += t.neg_collisions;
+    total.negatives += t.negatives;
     total.labeled += t.labeled;
     total.degree_pattern += t.degree_pattern;
     total.triad_pattern += t.triad_pattern;
@@ -51,6 +56,8 @@ void FlushTallies(const std::vector<EStepTally>& tallies) {
       ->Add(total.resamples);
   registry.GetCounter("deepdirect.estep.sampler.negative_collisions")
       ->Add(total.neg_collisions);
+  registry.GetCounter("deepdirect.estep.sampler.negatives_trained")
+      ->Add(total.negatives);
   registry.GetCounter("deepdirect.estep.sampler.labeled_steps")
       ->Add(total.labeled);
   registry.GetCounter("deepdirect.estep.sampler.degree_pattern_steps")
@@ -60,6 +67,91 @@ void FlushTallies(const std::vector<EStepTally>& tallies) {
 }
 
 }  // namespace
+
+PatternPrecompute PrecomputePatterns(const MixedSocialNetwork& g,
+                                     const TieIndex& idx,
+                                     const DeepDirectConfig& config) {
+  obs::PhaseScope phase("deepdirect.preprocess.patterns");
+  const size_t num_arcs = idx.num_arcs();
+
+  PatternPrecompute out;
+  out.slot.assign(num_arcs, UINT32_MAX);
+  // Slot assignment follows ascending arc index — a fixed order no
+  // scheduling can perturb.
+  std::vector<uint32_t> pattern_arcs;
+  for (size_t e = 0; e < num_arcs; ++e) {
+    if (idx.Class(e) != ArcClass::kUndirected) continue;
+    out.slot[e] = static_cast<uint32_t>(pattern_arcs.size());
+    pattern_arcs.push_back(static_cast<uint32_t>(e));
+  }
+  const size_t slots = pattern_arcs.size();
+  out.degree_pseudo_label.resize(slots);
+  out.degree_active.assign(slots, 0);
+  out.triad_offsets.assign(slots + 1, 0);
+
+  // Pass 1 over fixed slot blocks: per-slot label fields write disjoint
+  // array entries; triad pairs collect into one buffer per block (a few
+  // dozen allocations total instead of one vector per arc). The γ-cap
+  // subsample draws from a per-arc counter-based RNG — no shared stream,
+  // so the sampled t(u, v) is identical for every thread count.
+  const size_t blocks = train::NumBlocks(slots, kPatternBlock);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> block_pairs(blocks);
+  train::ParallelBlocks(
+      slots, kPatternBlock, config.num_threads,
+      [&](size_t b, size_t begin, size_t end) {
+        std::vector<NodeId> common;  // reused across the block's arcs
+        auto& pairs = block_pairs[b];
+        for (size_t s = begin; s < end; ++s) {
+          const size_t e = pattern_arcs[s];
+          const auto [u, v] = idx.ArcAt(e);
+          // Pattern-consistent Eq. 14 (see header note): ties point toward
+          // the higher-degree endpoint, so y^d_{uv} grows with deg(v).
+          const double deg_u = g.Deg(u);
+          const double deg_v = g.Deg(v);
+          const double denom = deg_u + deg_v;
+          const double y_d = denom > 0.0 ? deg_v / denom : 0.5;
+          out.degree_pseudo_label[s] = y_d;
+          out.degree_active[s] =
+              y_d > config.degree_pattern_threshold ? 1 : 0;
+
+          // t(u, v): up to γ random common neighbors.
+          g.CommonNeighbors(u, v, common);
+          if (common.size() > config.max_common_neighbors) {
+            util::Rng arc_rng(train::PerItemSeed(config.seed, e));
+            arc_rng.Shuffle(common);
+            common.resize(config.max_common_neighbors);
+          }
+          out.triad_offsets[s + 1] = static_cast<uint32_t>(common.size());
+          for (NodeId w : common) {
+            pairs.emplace_back(static_cast<uint32_t>(idx.IndexOf(u, w)),
+                               static_cast<uint32_t>(idx.IndexOf(v, w)));
+          }
+        }
+      });
+
+  // Serial prefix sum turns per-slot counts into CSR offsets.
+  for (size_t s = 0; s < slots; ++s) {
+    out.triad_offsets[s + 1] += out.triad_offsets[s];
+  }
+
+  // Pass 2: scatter each block's buffer into its disjoint arena range
+  // (block b starts at the offset of its first slot).
+  out.triad_pairs.resize(out.triad_offsets[slots]);
+  train::ParallelBlocks(
+      slots, kPatternBlock, config.num_threads,
+      [&](size_t b, size_t begin, size_t /*end*/) {
+        std::copy(block_pairs[b].begin(), block_pairs[b].end(),
+                  out.triad_pairs.begin() + out.triad_offsets[begin]);
+      });
+
+  if (obs::Enabled()) {
+    obs::Registry& registry = obs::Registry::Default();
+    registry.GetCounter("deepdirect.preprocess.pattern_arcs")->Add(slots);
+    registry.GetCounter("deepdirect.preprocess.triad_pairs")
+        ->Add(out.triad_pairs.size());
+  }
+  return out;
+}
 
 std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
     const MixedSocialNetwork& g, const DeepDirectConfig& config) {
@@ -81,37 +173,10 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
   util::Rng rng(config.seed);
 
   // --- Preprocessing -------------------------------------------------------
-  // Pattern data for undirected arcs (lines 6–9 of Algorithm 1).
-  std::vector<uint32_t> pattern_slot(num_arcs, UINT32_MAX);
-  std::vector<PatternInfo> patterns;
-  for (size_t e = 0; e < num_arcs; ++e) {
-    if (idx.Class(e) != ArcClass::kUndirected) continue;
-    const auto [u, v] = idx.ArcAt(e);
-    PatternInfo info;
-    // Pattern-consistent Eq. 14 (see header note): ties point toward the
-    // higher-degree endpoint, so y^d_{uv} grows with deg(v).
-    const double deg_u = g.Deg(u);
-    const double deg_v = g.Deg(v);
-    const double denom = deg_u + deg_v;
-    info.degree_pseudo_label = denom > 0.0 ? deg_v / denom : 0.5;
-    info.degree_active =
-        info.degree_pseudo_label > config.degree_pattern_threshold;
-
-    // t(u, v): up to γ random common neighbors.
-    std::vector<NodeId> common = g.CommonNeighbors(u, v);
-    if (common.size() > config.max_common_neighbors) {
-      rng.Shuffle(common);
-      common.resize(config.max_common_neighbors);
-    }
-    info.triad_pairs.reserve(common.size());
-    for (NodeId w : common) {
-      info.triad_pairs.emplace_back(
-          static_cast<uint32_t>(idx.IndexOf(u, w)),
-          static_cast<uint32_t>(idx.IndexOf(v, w)));
-    }
-    pattern_slot[e] = static_cast<uint32_t>(patterns.size());
-    patterns.push_back(std::move(info));
-  }
+  // Pattern data for undirected arcs (lines 6–9 of Algorithm 1): flat CSR
+  // arena, sharded over config.num_threads workers, bit-identical for every
+  // thread count (per-arc counter-based RNG instead of a shared stream).
+  const PatternPrecompute patterns = PrecomputePatterns(g, idx, config);
 
   // --- E-Step --------------------------------------------------------------
   phase.emplace("deepdirect.estep");
@@ -204,11 +269,18 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
       if (track_loss) step_loss -= ml::LogSigmoid(score);
     }
     for (size_t neg = 0; neg < config.negative_samples; ++neg) {
-      const size_t f = noise_table.Sample(r);
-      if (f == e_prime) {
+      // A draw colliding with the positive context is redrawn (bounded),
+      // not skipped: skipping would train those steps on fewer than λ
+      // negatives and bias L_topo toward the positive term.
+      size_t f = noise_table.Sample(r);
+      size_t redraws = 0;
+      while (f == e_prime && redraws < kMaxNegativeRedraws) {
         ++tally.neg_collisions;
-        continue;
+        ++redraws;
+        f = noise_table.Sample(r);
       }
+      if (f == e_prime) continue;  // degenerate noise mass; give up
+      ++tally.negatives;
       auto n_neg = n.Row(f);
       const double score = train::DotRows<A>(m_e, n_neg);
       const double g_neg = ml::Sigmoid(score);
@@ -249,17 +321,20 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
         ++tally.labeled;
         g_b += config.alpha * degree_scale * (prediction - idx.Label(e));
       } else {
-        const PatternInfo& info = patterns[pattern_slot[e]];
-        if (info.degree_active) {
+        const uint32_t s = patterns.slot[e];
+        if (patterns.degree_active[s] != 0) {
           ++tally.degree_pattern;
           g_b += config.beta * degree_scale *
-                 (prediction - info.degree_pseudo_label);
+                 (prediction - patterns.degree_pseudo_label[s]);
         }
-        if (!info.triad_pairs.empty()) {
+        const uint32_t t_begin = patterns.triad_offsets[s];
+        const uint32_t t_end = patterns.triad_offsets[s + 1];
+        if (t_end > t_begin) {
           ++tally.triad_pattern;
           // y^t from current predictions over t(u, v) (Eq. 15).
           double y_t = 0.0;
-          for (const auto& [uw, vw] : info.triad_pairs) {
+          for (uint32_t t = t_begin; t < t_end; ++t) {
+            const auto& [uw, vw] = patterns.triad_pairs[t];
             double score_uw = A::Load(b_prime);
             double score_vw = score_uw;
             const auto m_uw = m.Row(uw);
@@ -273,7 +348,7 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
             const double y_vw = ml::Sigmoid(score_vw);
             y_t += y_uw / std::max(y_uw + y_vw, 1e-12);
           }
-          y_t /= static_cast<double>(info.triad_pairs.size());
+          y_t /= static_cast<double>(t_end - t_begin);
           g_b += config.beta * degree_scale * (prediction - y_t);
         }
       }

@@ -30,8 +30,10 @@
 #ifndef DEEPDIRECT_CORE_DEEPDIRECT_H_
 #define DEEPDIRECT_CORE_DEEPDIRECT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <functional>
@@ -84,9 +86,13 @@ struct DeepDirectConfig {
   /// Ablation: sample negatives uniformly instead of ∝ deg_tie^{3/4}.
   bool uniform_negative_sampling = false;
   uint64_t seed = 21;
-  /// E-Step SGD workers (0 = all hardware threads). 1 runs the
-  /// deterministic serial path; > 1 runs Hogwild-style lock-free updates,
-  /// which are fast but not bit-reproducible.
+  /// Worker count (0 = all hardware threads) for both pipeline stages:
+  ///  * preprocessing (pattern pseudo-labels + triad-pair arena) shards
+  ///    undirected arcs into fixed blocks with per-arc counter-based RNG,
+  ///    so its output is bit-identical for every thread count;
+  ///  * the E-Step SGD, where 1 runs the deterministic serial path and
+  ///    > 1 runs Hogwild-style lock-free updates, which are fast but not
+  ///    bit-reproducible.
   size_t num_threads = 1;
   /// D-Step logistic regression settings.
   ml::LogisticRegressionConfig d_step = {
@@ -114,6 +120,35 @@ struct DeepDirectConfig {
             train::LrSchedule::Decay::kClampedLinear};
   }
 };
+
+/// Flat precomputed pattern data over the closure arcs (Algorithm 1,
+/// lines 6–9): per-undirected-arc degree pseudo-labels plus one CSR arena
+/// of triad arc-index pairs — a handful of flat arrays instead of a
+/// heap-allocated pair vector per arc.
+struct PatternPrecompute {
+  /// Arc index → slot in the per-pattern-arc arrays below; UINT32_MAX for
+  /// arcs that are not undirected.
+  std::vector<uint32_t> slot;
+  std::vector<double> degree_pseudo_label;  ///< y^d (Eq. 14) per slot
+  std::vector<uint8_t> degree_active;       ///< y^d > T per slot
+  /// CSR offsets into `triad_pairs`, size num_pattern_arcs() + 1.
+  std::vector<uint32_t> triad_offsets;
+  /// Arc-index pairs (index(u,w), index(v,w)) for w ∈ t(u, v), flat.
+  std::vector<std::pair<uint32_t, uint32_t>> triad_pairs;
+
+  /// Number of undirected (pattern-carrying) arcs.
+  size_t num_pattern_arcs() const { return degree_pseudo_label.size(); }
+};
+
+/// Runs the pattern preprocessing stage alone, sharded over
+/// `config.num_threads` workers (0 = all cores). Undirected arcs split into
+/// fixed blocks and the γ-subsampling of t(u, v) draws from a counter-based
+/// per-arc RNG seeded by (config.seed, arc index), so the result is
+/// bit-identical for every thread count. Exposed for tests and benchmarks;
+/// Train() runs it internally.
+PatternPrecompute PrecomputePatterns(const graph::MixedSocialNetwork& g,
+                                     const TieIndex& idx,
+                                     const DeepDirectConfig& config);
 
 /// A trained DeepDirect model: embedding matrix + directionality head.
 class DeepDirectModel : public DirectionalityModel {

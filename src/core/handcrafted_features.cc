@@ -26,14 +26,14 @@ HandcraftedFeatureExtractor::HandcraftedFeatureExtractor(
     deg_in_[u] = g.DegIn(u);
   }
   if (config.exact_centrality) {
-    closeness_ = graph::ClosenessCentralityExact(g);
-    betweenness_ = graph::BetweennessCentralityExact(g);
+    closeness_ = graph::ClosenessCentralityExact(g, config.num_threads);
+    betweenness_ = graph::BetweennessCentralityExact(g, config.num_threads);
   } else {
     util::Rng rng(config.seed);
-    closeness_ =
-        graph::ClosenessCentralitySampled(g, config.centrality_pivots, rng);
-    betweenness_ =
-        graph::BetweennessCentralitySampled(g, config.centrality_pivots, rng);
+    closeness_ = graph::ClosenessCentralitySampled(
+        g, config.centrality_pivots, rng, config.num_threads);
+    betweenness_ = graph::BetweennessCentralitySampled(
+        g, config.centrality_pivots, rng, config.num_threads);
   }
 }
 

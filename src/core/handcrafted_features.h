@@ -28,6 +28,10 @@ struct HandcraftedFeatureConfig {
   /// Number of BFS pivots for sampled centralities.
   size_t centrality_pivots = 64;
   uint64_t seed = 11;
+  /// Workers for the centrality precompute (0 = all hardware threads).
+  /// Per-source BFS sweeps shard into fixed blocks, so the precomputed
+  /// features are bit-identical for every thread count.
+  size_t num_threads = 1;
 };
 
 /// Precomputes node-level statistics once, then serves per-tie feature

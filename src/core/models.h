@@ -49,12 +49,15 @@ struct MethodConfigs {
   static MethodConfigs FastDefaults();
 
   /// Sets the SGD worker count of every trainer that runs on the
-  /// train::SgdDriver engine (0 = all hardware threads; 1 = deterministic).
+  /// train::SgdDriver engine (0 = all hardware threads; 1 = deterministic)
+  /// and of the deterministic preprocessing stages (DeepDirect pattern
+  /// precompute via deepdirect.num_threads, HF centrality sweeps).
   void SetNumThreads(size_t n) {
     deepdirect.num_threads = n;
     deepdirect.d_step.num_threads = n;
     line.line.num_threads = n;
     line.regression.num_threads = n;
+    hf.features.num_threads = n;
     hf.regression.num_threads = n;
   }
 };

@@ -1,90 +1,192 @@
 #include "graph/centrality.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "graph/algorithms.h"
+#include "train/parallel.h"
 
 namespace deepdirect::graph {
 
 namespace {
 
+// Accumulating stages keep one partial-result vector per block, so the
+// block count — not the block size — bounds the scratch memory at
+// O(kMaxAccumBlocks · n) and the serial post-reduction at the same cost.
+// Kept small: the reduction is the Amdahl term of these sweeps. The
+// decomposition depends only on the source count, keeping results
+// bit-identical across thread counts.
+constexpr size_t kMaxAccumBlocks = 8;
+
+// Per-source block size for the non-accumulating exact closeness sweep
+// (each source owns its output slot, so blocks are purely a work unit).
+constexpr size_t kSourceBlock = 64;
+
+// Reusable per-block BFS workspace: one allocation per block instead of
+// one per source. The frontier is a flat vector walked by index — each
+// node enters at most once, so it doubles as the visit order.
+struct BfsScratch {
+  std::vector<uint32_t> dist;
+  std::vector<NodeId> queue;
+
+  explicit BfsScratch(size_t n) : dist(n, kUnreachable) {
+    queue.reserve(n);
+  }
+
+  // BFS from `s` over the undirected view; leaves distances in `dist`
+  // (kUnreachable outside s's component).
+  void Run(const MixedSocialNetwork& g, NodeId s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    queue.clear();
+    dist[s] = 0;
+    queue.push_back(s);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (NodeId v : g.UndirectedNeighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+};
+
+// Reusable per-block Brandes workspace.
+struct BrandesScratch {
+  std::vector<uint32_t> dist;
+  std::vector<double> sigma;  // shortest-path counts
+  std::vector<double> delta;  // dependencies
+  std::vector<NodeId> order;  // BFS visit order = non-decreasing distance;
+                              // doubles as the frontier walked by index
+
+  explicit BrandesScratch(size_t n) : dist(n), sigma(n), delta(n) {
+    order.reserve(n);
+  }
+};
+
 // One Brandes source iteration: BFS from `s`, then dependency accumulation.
 // Adds each node's dependency from this source into `centrality`.
 void BrandesAccumulate(const MixedSocialNetwork& g, NodeId s,
-                       std::vector<double>& centrality) {
-  const size_t n = g.num_nodes();
-  std::vector<uint32_t> dist(n, kUnreachable);
-  std::vector<double> sigma(n, 0.0);    // shortest-path counts
-  std::vector<double> delta(n, 0.0);    // dependencies
-  std::vector<NodeId> order;            // nodes in non-decreasing distance
-  order.reserve(n);
+                       BrandesScratch& ws, std::vector<double>& centrality) {
+  std::fill(ws.dist.begin(), ws.dist.end(), kUnreachable);
+  std::fill(ws.sigma.begin(), ws.sigma.end(), 0.0);
+  std::fill(ws.delta.begin(), ws.delta.end(), 0.0);
+  ws.order.clear();
 
-  std::deque<NodeId> queue;
-  dist[s] = 0;
-  sigma[s] = 1.0;
-  queue.push_back(s);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    order.push_back(u);
+  ws.dist[s] = 0;
+  ws.sigma[s] = 1.0;
+  ws.order.push_back(s);
+  for (size_t head = 0; head < ws.order.size(); ++head) {
+    const NodeId u = ws.order[head];
     for (NodeId v : g.UndirectedNeighbors(u)) {
-      if (dist[v] == kUnreachable) {
-        dist[v] = dist[u] + 1;
-        queue.push_back(v);
+      if (ws.dist[v] == kUnreachable) {
+        ws.dist[v] = ws.dist[u] + 1;
+        ws.order.push_back(v);
       }
-      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+      if (ws.dist[v] == ws.dist[u] + 1) ws.sigma[v] += ws.sigma[u];
     }
   }
 
   // Accumulate in reverse BFS order; predecessors of v are the neighbors one
   // hop closer to s.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  for (auto it = ws.order.rbegin(); it != ws.order.rend(); ++it) {
     const NodeId v = *it;
     for (NodeId u : g.UndirectedNeighbors(v)) {
-      if (dist[u] + 1 == dist[v]) {
-        delta[u] += (sigma[u] / sigma[v]) * (1.0 + delta[v]);
+      if (ws.dist[u] + 1 == ws.dist[v]) {
+        ws.delta[u] += (ws.sigma[u] / ws.sigma[v]) * (1.0 + ws.delta[v]);
       }
     }
-    if (v != s) centrality[v] += delta[v];
+    if (v != s) centrality[v] += ws.delta[v];
   }
+}
+
+// Brandes over an explicit source list, sharded into fixed blocks with one
+// partial centrality vector per block, reduced in block order.
+std::vector<double> BrandesOverSources(const MixedSocialNetwork& g,
+                                       const std::vector<NodeId>& sources,
+                                       size_t num_threads) {
+  const size_t n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  if (sources.empty()) return bc;
+  const size_t block = train::BlockSizeFor(sources.size(), kMaxAccumBlocks);
+  const size_t blocks = train::NumBlocks(sources.size(), block);
+  std::vector<std::vector<double>> partial(blocks);
+  train::ParallelBlocks(
+      sources.size(), block, num_threads,
+      [&](size_t b, size_t begin, size_t end) {
+        partial[b].assign(n, 0.0);
+        BrandesScratch ws(n);
+        for (size_t i = begin; i < end; ++i) {
+          BrandesAccumulate(g, sources[i], ws, partial[b]);
+        }
+      });
+  for (const std::vector<double>& part : partial) {
+    for (size_t v = 0; v < n; ++v) bc[v] += part[v];
+  }
+  return bc;
 }
 
 }  // namespace
 
-std::vector<double> ClosenessCentralityExact(const MixedSocialNetwork& g) {
+std::vector<double> ClosenessCentralityExact(const MixedSocialNetwork& g,
+                                             size_t num_threads) {
   const size_t n = g.num_nodes();
   std::vector<double> cc(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    const auto dist = BfsDistances(g, u);
-    double total = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (v != u && dist[v] != kUnreachable) total += dist[v];
-    }
-    cc[u] = total > 0.0 ? 1.0 / total : 0.0;
-  }
+  train::ParallelBlocks(
+      n, kSourceBlock, num_threads, [&](size_t, size_t begin, size_t end) {
+        BfsScratch ws(n);
+        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+          ws.Run(g, u);
+          double total = 0.0;
+          for (NodeId v = 0; v < n; ++v) {
+            if (v != u && ws.dist[v] != kUnreachable) total += ws.dist[v];
+          }
+          cc[u] = total > 0.0 ? 1.0 / total : 0.0;
+        }
+      });
   return cc;
 }
 
 std::vector<double> ClosenessCentralitySampled(const MixedSocialNetwork& g,
                                                size_t num_pivots,
-                                               util::Rng& rng) {
+                                               util::Rng& rng,
+                                               size_t num_threads) {
   const size_t n = g.num_nodes();
   std::vector<double> cc(n, 0.0);
   if (n == 0) return cc;
   const size_t k = std::min(num_pivots, n);
-  if (k == n) return ClosenessCentralityExact(g);
+  if (k == n) return ClosenessCentralityExact(g, num_threads);
   DD_CHECK_GT(k, 0u);
 
+  // Pivots are drawn serially up front: the rng advances identically for
+  // every thread count.
+  const std::vector<size_t> pivots = rng.SampleWithoutReplacement(n, k);
+
+  const size_t block = train::BlockSizeFor(k, kMaxAccumBlocks);
+  const size_t blocks = train::NumBlocks(k, block);
+  std::vector<std::vector<double>> partial_sum(blocks);
+  std::vector<std::vector<uint32_t>> partial_count(blocks);
+  train::ParallelBlocks(
+      k, block, num_threads, [&](size_t b, size_t begin, size_t end) {
+        partial_sum[b].assign(n, 0.0);
+        partial_count[b].assign(n, 0);
+        BfsScratch ws(n);
+        for (size_t i = begin; i < end; ++i) {
+          ws.Run(g, static_cast<NodeId>(pivots[i]));
+          for (NodeId v = 0; v < n; ++v) {
+            if (ws.dist[v] != kUnreachable && ws.dist[v] > 0) {
+              partial_sum[b][v] += ws.dist[v];
+              ++partial_count[b][v];
+            }
+          }
+        }
+      });
   std::vector<double> dist_sum(n, 0.0);
   std::vector<uint32_t> reach_count(n, 0);
-  for (size_t pivot_index : rng.SampleWithoutReplacement(n, k)) {
-    const auto dist = BfsDistances(g, static_cast<NodeId>(pivot_index));
+  for (size_t b = 0; b < blocks; ++b) {
     for (NodeId v = 0; v < n; ++v) {
-      if (dist[v] != kUnreachable && dist[v] > 0) {
-        dist_sum[v] += dist[v];
-        ++reach_count[v];
-      }
+      dist_sum[v] += partial_sum[b][v];
+      reach_count[v] += partial_count[b][v];
     }
   }
   // Estimate the full distance sum as (n-1)/count-scaled partial sum, which
@@ -98,25 +200,29 @@ std::vector<double> ClosenessCentralitySampled(const MixedSocialNetwork& g,
   return cc;
 }
 
-std::vector<double> BetweennessCentralityExact(const MixedSocialNetwork& g) {
-  std::vector<double> bc(g.num_nodes(), 0.0);
-  for (NodeId s = 0; s < g.num_nodes(); ++s) BrandesAccumulate(g, s, bc);
-  return bc;
+std::vector<double> BetweennessCentralityExact(const MixedSocialNetwork& g,
+                                               size_t num_threads) {
+  std::vector<NodeId> sources(g.num_nodes());
+  for (NodeId s = 0; s < g.num_nodes(); ++s) sources[s] = s;
+  return BrandesOverSources(g, sources, num_threads);
 }
 
 std::vector<double> BetweennessCentralitySampled(const MixedSocialNetwork& g,
                                                  size_t num_pivots,
-                                                 util::Rng& rng) {
+                                                 util::Rng& rng,
+                                                 size_t num_threads) {
   const size_t n = g.num_nodes();
-  std::vector<double> bc(n, 0.0);
-  if (n == 0) return bc;
+  if (n == 0) return {};
   const size_t k = std::min(num_pivots, n);
-  if (k == n) return BetweennessCentralityExact(g);
+  if (k == n) return BetweennessCentralityExact(g, num_threads);
   DD_CHECK_GT(k, 0u);
 
+  std::vector<NodeId> sources;
+  sources.reserve(k);
   for (size_t pivot_index : rng.SampleWithoutReplacement(n, k)) {
-    BrandesAccumulate(g, static_cast<NodeId>(pivot_index), bc);
+    sources.push_back(static_cast<NodeId>(pivot_index));
   }
+  std::vector<double> bc = BrandesOverSources(g, sources, num_threads);
   const double scale = static_cast<double>(n) / static_cast<double>(k);
   for (double& v : bc) v *= scale;
   return bc;

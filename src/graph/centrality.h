@@ -8,6 +8,13 @@
 // the network sizes of the experiments a pivot-sampled estimator (Brandes &
 // Pich 2007) with k sources gives the same feature ranking at O(k·E); the
 // feature extractor uses the sampled variant by default.
+//
+// Every variant is embarrassingly parallel over sources and takes a
+// `num_threads` knob (0 = all hardware threads). Sources are sharded into
+// fixed blocks (train/parallel.h) and per-block partial sums are reduced in
+// block order, so the result is bit-identical for every thread count; the
+// sampled variants draw their pivot set from `rng` up front, which keeps
+// the rng stream consumption thread-count-independent too.
 
 #ifndef DEEPDIRECT_GRAPH_CENTRALITY_H_
 #define DEEPDIRECT_GRAPH_CENTRALITY_H_
@@ -22,23 +29,27 @@ namespace deepdirect::graph {
 /// Exact closeness centrality cc(u) = 1 / Σ_v dis(u, v) for every node.
 /// Distances are summed within u's connected component (unreachable nodes
 /// are skipped); isolated nodes get 0.
-std::vector<double> ClosenessCentralityExact(const MixedSocialNetwork& g);
+std::vector<double> ClosenessCentralityExact(const MixedSocialNetwork& g,
+                                             size_t num_threads = 1);
 
 /// Pivot-sampled closeness: runs BFS from `num_pivots` random sources and
 /// estimates Σ_v dis(u, v) by (n-1)/k-scaled partial sums.
 std::vector<double> ClosenessCentralitySampled(const MixedSocialNetwork& g,
                                                size_t num_pivots,
-                                               util::Rng& rng);
+                                               util::Rng& rng,
+                                               size_t num_threads = 1);
 
 /// Exact betweenness centrality via Brandes' algorithm (undirected view,
 /// unnormalized, each unordered pair counted twice as in Eq. 4).
-std::vector<double> BetweennessCentralityExact(const MixedSocialNetwork& g);
+std::vector<double> BetweennessCentralityExact(const MixedSocialNetwork& g,
+                                               size_t num_threads = 1);
 
 /// Pivot-sampled betweenness (Brandes–Pich): accumulates dependencies from
 /// `num_pivots` random sources and scales by n / k.
 std::vector<double> BetweennessCentralitySampled(const MixedSocialNetwork& g,
                                                  size_t num_pivots,
-                                                 util::Rng& rng);
+                                                 util::Rng& rng,
+                                                 size_t num_threads = 1);
 
 }  // namespace deepdirect::graph
 

@@ -36,15 +36,17 @@ void WriteEdgeList(const MixedSocialNetwork& g, std::ostream& out) {
   }
 }
 
-util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path) {
+util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path,
+                                              size_t num_threads) {
   std::ifstream in(path);
   if (!in.good()) {
     return util::Status::IOError("cannot open for reading: " + path);
   }
-  return ReadEdgeList(in);
+  return ReadEdgeList(in, num_threads);
 }
 
-util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in) {
+util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in,
+                                              size_t num_threads) {
   obs::PhaseScope phase("graph.load");
   struct ParsedTie {
     NodeId u, v;
@@ -59,7 +61,11 @@ util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in) {
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty()) continue;
+    // Windows-edited files carry a trailing '\r' (getline splits on '\n'
+    // only); strip it so tokens and blank-line detection see clean text.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Skip lines that are empty after trimming, not just byte-empty.
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
     if (line[0] == '#') {
       std::istringstream header(line.substr(1));
       std::string keyword;
@@ -93,6 +99,14 @@ util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in) {
           "unknown tie type '" + type_token + "' at line " +
           std::to_string(line_number));
     }
+    // Anything after the type field means the line was not what we parsed
+    // it as — fail loudly rather than train on misread data.
+    std::string extra;
+    if (fields >> extra) {
+      return util::Status::InvalidArgument(
+          "trailing data '" + extra + "' after tie at line " +
+          std::to_string(line_number) + ": '" + line + "'");
+    }
     const NodeId u = static_cast<NodeId>(u_raw);
     const NodeId v = static_cast<NodeId>(v_raw);
     max_id = std::max({max_id, u, v});
@@ -108,6 +122,7 @@ util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in) {
   }
 
   GraphBuilder builder(num_nodes);
+  builder.SetNumThreads(num_threads);
   for (const ParsedTie& t : ties) {
     DD_RETURN_NOT_OK(builder.AddTie(t.u, t.v, t.type));
   }

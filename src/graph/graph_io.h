@@ -3,9 +3,10 @@
 // Text format, one tie per line:
 //     <u> <v> <type>
 // where <type> is one of `d` (directed u->v), `b` (bidirectional), or
-// `u` (undirected). Lines starting with `#` and blank lines are ignored.
-// A header line `# nodes <n>` may pin the node count; otherwise it is
-// max(node id) + 1.
+// `u` (undirected). Lines starting with `#` and blank (or whitespace-only)
+// lines are ignored; CRLF line endings are accepted. Extra tokens after the
+// type field are a parse error. A header line `# nodes <n>` may pin the
+// node count; otherwise it is max(node id) + 1.
 
 #ifndef DEEPDIRECT_GRAPH_GRAPH_IO_H_
 #define DEEPDIRECT_GRAPH_GRAPH_IO_H_
@@ -24,11 +25,15 @@ util::Status SaveEdgeList(const MixedSocialNetwork& g, const std::string& path);
 /// Writes the network in the edge-list format to a stream.
 void WriteEdgeList(const MixedSocialNetwork& g, std::ostream& out);
 
-/// Loads a network from an edge-list file.
-util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path);
+/// Loads a network from an edge-list file. `num_threads` drives the
+/// builder's parallel index assembly (0 = all cores); the result is
+/// bit-identical for every thread count.
+util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path,
+                                              size_t num_threads = 1);
 
 /// Parses a network from a stream holding the edge-list format.
-util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in);
+util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in,
+                                              size_t num_threads = 1);
 
 }  // namespace deepdirect::graph
 

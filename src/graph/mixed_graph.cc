@@ -4,9 +4,17 @@
 #include <numeric>
 #include <sstream>
 
+#include "train/parallel.h"
+
 namespace deepdirect::graph {
 
 namespace {
+
+// Fixed shard sizes for the parallel assembly passes of GraphBuilder::Build.
+// The decomposition depends only on the problem size (never the worker
+// count), so the built indexes are bit-identical for every `num_threads`.
+constexpr size_t kArcBlock = 4096;
+constexpr size_t kNodeBlock = 1024;
 
 // Packs an unordered node pair into one key (smaller id in the high word so
 // keys are unique per pair regardless of insertion order).
@@ -92,12 +100,18 @@ std::span<const NodeId> MixedSocialNetwork::UndirectedNeighbors(
 
 std::vector<NodeId> MixedSocialNetwork::CommonNeighbors(NodeId u,
                                                         NodeId v) const {
+  std::vector<NodeId> out;
+  CommonNeighbors(u, v, out);
+  return out;
+}
+
+void MixedSocialNetwork::CommonNeighbors(NodeId u, NodeId v,
+                                         std::vector<NodeId>& out) const {
   const auto nu = UndirectedNeighbors(u);
   const auto nv = UndirectedNeighbors(v);
-  std::vector<NodeId> out;
+  out.clear();
   std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
                         std::back_inserter(out));
-  return out;
 }
 
 GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
@@ -178,15 +192,23 @@ MixedSocialNetwork GraphBuilder::Build() && {
     }
   }
 
-  // Twins and per-type arc lists.
+  // Twin resolution is a per-arc binary search with disjoint writes —
+  // shard it across workers. The per-type arc lists stay a serial append
+  // so their id order is invariant.
   g.twin_.assign(num_arcs, kInvalidArc);
+  train::ParallelBlocks(
+      num_arcs, kArcBlock, num_threads_,
+      [&](size_t, size_t begin, size_t end) {
+        for (ArcId id = static_cast<ArcId>(begin); id < end; ++id) {
+          const Arc& a = g.arcs_[id];
+          if (a.type != TieType::kDirected) {
+            g.twin_[id] = g.FindArc(a.dst, a.src);
+            DD_CHECK_NE(g.twin_[id], kInvalidArc);
+          }
+        }
+      });
   for (ArcId id = 0; id < num_arcs; ++id) {
-    const Arc& a = g.arcs_[id];
-    if (a.type != TieType::kDirected) {
-      g.twin_[id] = g.FindArc(a.dst, a.src);
-      DD_CHECK_NE(g.twin_[id], kInvalidArc);
-    }
-    switch (a.type) {
+    switch (g.arcs_[id].type) {
       case TieType::kDirected:
         g.directed_arcs_.push_back(id);
         break;
@@ -199,31 +221,71 @@ MixedSocialNetwork GraphBuilder::Build() && {
     }
   }
 
-  // Undirected neighbor lists (sorted, distinct). A pair hosts at most one
-  // tie, so out-neighbors and in-neighbors can overlap only through twins;
-  // merge + dedup handles all cases uniformly.
+  // Undirected neighbor lists (sorted, distinct), built in two counting
+  // passes straight into the final CSR arrays — no per-node vectors.
+  //
+  // A pair hosts at most one tie, so the out- and in-neighbor lists of a
+  // node overlap exactly on its non-directed arcs (each such out arc
+  // (u, v) has the twin (v, u) contributing the same neighbor v to the in
+  // list). Hence |distinct| = out + in − #non-directed-out.
   g.und_offsets_.assign(num_nodes_ + 1, 0);
-  std::vector<NodeId> scratch;
-  std::vector<std::vector<NodeId>> per_node(num_nodes_);
   for (NodeId u = 0; u < num_nodes_; ++u) {
-    scratch.clear();
-    for (ArcId a : g.OutArcs(u)) scratch.push_back(g.arcs_[a].dst);
-    for (ArcId a : g.InArcs(u)) scratch.push_back(g.arcs_[a].src);
-    std::sort(scratch.begin(), scratch.end());
-    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-    per_node[u] = scratch;
-    g.und_offsets_[u + 1] = g.und_offsets_[u] + scratch.size();
+    size_t count = g.OutArcCount(u) + g.InArcCount(u);
+    for (ArcId a : g.OutArcs(u)) {
+      if (g.arcs_[a].type != TieType::kDirected) --count;
+    }
+    g.und_offsets_[u + 1] = g.und_offsets_[u] + count;
   }
-  g.und_adj_.reserve(g.und_offsets_[num_nodes_]);
-  for (NodeId u = 0; u < num_nodes_; ++u) {
-    g.und_adj_.insert(g.und_adj_.end(), per_node[u].begin(),
-                      per_node[u].end());
-  }
+  // Pass 2: merge the sorted out-dst and in-src lists of each node into its
+  // final CSR slice. Out arcs are sorted by dst; in_adj_ was filled in
+  // ascending arc-id = ascending src order, so both inputs are sorted.
+  // Nodes shard into fixed blocks with disjoint output regions.
+  g.und_adj_.resize(g.und_offsets_[num_nodes_]);
+  train::ParallelBlocks(
+      num_nodes_, kNodeBlock, num_threads_,
+      [&](size_t, size_t begin, size_t end) {
+        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+          const auto out_arcs = g.OutArcs(u);
+          const auto in_arcs = g.InArcs(u);
+          size_t i = 0, j = 0;
+          size_t w = g.und_offsets_[u];
+          while (i < out_arcs.size() || j < in_arcs.size()) {
+            NodeId next;
+            if (j >= in_arcs.size()) {
+              next = g.arcs_[out_arcs[i++]].dst;
+            } else if (i >= out_arcs.size()) {
+              next = g.arcs_[in_arcs[j++]].src;
+            } else {
+              const NodeId a = g.arcs_[out_arcs[i]].dst;
+              const NodeId b = g.arcs_[in_arcs[j]].src;
+              next = std::min(a, b);
+              if (a <= next) ++i;
+              if (b <= next) ++j;
+            }
+            g.und_adj_[w++] = next;
+          }
+          DD_CHECK_EQ(w, g.und_offsets_[u + 1]);
+        }
+      });
 
-  // |C(G)| = Σ_e |c(e)|.
-  uint64_t pairs = 0;
-  for (ArcId id = 0; id < num_arcs; ++id) pairs += g.TieDegree(id);
-  g.num_connected_tie_pairs_ = pairs;
+  // |C(G)| = Σ_e |c(e)|: integer partial sums per block, reduced in block
+  // order (exact, so thread count cannot change the result).
+  {
+    const size_t blocks = train::NumBlocks(num_arcs, kArcBlock);
+    std::vector<uint64_t> partial(blocks, 0);
+    train::ParallelBlocks(
+        num_arcs, kArcBlock, num_threads_,
+        [&](size_t b, size_t begin, size_t end) {
+          uint64_t pairs = 0;
+          for (ArcId id = static_cast<ArcId>(begin); id < end; ++id) {
+            pairs += g.TieDegree(id);
+          }
+          partial[b] = pairs;
+        });
+    uint64_t pairs = 0;
+    for (uint64_t p : partial) pairs += p;
+    g.num_connected_tie_pairs_ = pairs;
+  }
 
   return g;
 }

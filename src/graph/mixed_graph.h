@@ -144,6 +144,10 @@ class MixedSocialNetwork {
   /// Common neighbors of u and v under the undirected view (sorted).
   std::vector<NodeId> CommonNeighbors(NodeId u, NodeId v) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the sorted
+  /// common neighbors, reusing its capacity.
+  void CommonNeighbors(NodeId u, NodeId v, std::vector<NodeId>& out) const;
+
   /// Arc ids of all directed arcs (E_d), in (src, dst) order.
   const std::vector<ArcId>& directed_arcs() const { return directed_arcs_; }
 
@@ -200,6 +204,12 @@ class GraphBuilder {
   /// Number of ties added so far.
   size_t num_ties() const { return ties_.size(); }
 
+  /// Worker count for the index-assembly passes of Build() (0 = all
+  /// hardware threads). Assembly shards nodes into fixed blocks with
+  /// disjoint output regions, so the built network is bit-identical for
+  /// every thread count.
+  void SetNumThreads(size_t num_threads) { num_threads_ = num_threads; }
+
   /// Finalizes and returns the network. The builder is consumed.
   MixedSocialNetwork Build() &&;
 
@@ -210,6 +220,7 @@ class GraphBuilder {
   };
 
   size_t num_nodes_;
+  size_t num_threads_ = 1;
   std::vector<PendingTie> ties_;
   // Unordered-pair occupancy for duplicate detection.
   std::unordered_set<uint64_t> pair_keys_;

@@ -161,5 +161,65 @@ TEST(BetweennessTest, SampledPreservesRankingOfExtremes) {
   EXPECT_LT(better, sampled.size() / 10);
 }
 
+// Multi-threaded sweeps must be bit-identical to the serial ones: blocks
+// are fixed-size (independent of worker count) and partial accumulators
+// reduce in block order, so thread count never changes the arithmetic.
+class CentralityDeterminismTest : public ::testing::Test {
+ protected:
+  static MixedSocialNetwork TestNetwork() {
+    data::GeneratorConfig config;
+    config.num_nodes = 300;
+    config.ties_per_node = 4.0;
+    config.bidirectional_fraction = 0.2;
+    config.seed = 19;
+    return data::GenerateStatusNetwork(config);
+  }
+
+  static void ExpectBitIdentical(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "node " << i;
+    }
+  }
+};
+
+TEST_F(CentralityDeterminismTest, ClosenessExactMultiThreadedDeterministic) {
+  const auto net = TestNetwork();
+  ExpectBitIdentical(ClosenessCentralityExact(net, 1),
+                     ClosenessCentralityExact(net, 4));
+}
+
+TEST_F(CentralityDeterminismTest, ClosenessSampledMultiThreadedDeterministic) {
+  const auto net = TestNetwork();
+  util::Rng rng_serial(23);
+  util::Rng rng_parallel(23);
+  ExpectBitIdentical(ClosenessCentralitySampled(net, 48, rng_serial, 1),
+                     ClosenessCentralitySampled(net, 48, rng_parallel, 4));
+}
+
+TEST_F(CentralityDeterminismTest, BetweennessExactMultiThreadedDeterministic) {
+  const auto net = TestNetwork();
+  ExpectBitIdentical(BetweennessCentralityExact(net, 1),
+                     BetweennessCentralityExact(net, 4));
+}
+
+TEST_F(CentralityDeterminismTest,
+       BetweennessSampledMultiThreadedDeterministic) {
+  const auto net = TestNetwork();
+  util::Rng rng_serial(29);
+  util::Rng rng_parallel(29);
+  ExpectBitIdentical(BetweennessCentralitySampled(net, 48, rng_serial, 1),
+                     BetweennessCentralitySampled(net, 48, rng_parallel, 4));
+}
+
+TEST_F(CentralityDeterminismTest, ZeroThreadsMeansAllCores) {
+  // num_threads = 0 resolves to hardware concurrency and must still match
+  // the serial result bit for bit.
+  const auto net = TestNetwork();
+  ExpectBitIdentical(ClosenessCentralityExact(net, 1),
+                     ClosenessCentralityExact(net, 0));
+}
+
 }  // namespace
 }  // namespace deepdirect::graph

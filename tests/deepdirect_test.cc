@@ -9,6 +9,7 @@
 #include "core/deepdirect.h"
 #include "data/generators.h"
 #include "graph/algorithms.h"
+#include "obs/metrics.h"
 
 namespace deepdirect::core {
 namespace {
@@ -201,6 +202,7 @@ TEST(DeepDirectTest, PatternLossAloneProducesSignal) {
 TEST(DeepDirectTest, TieDegreeWeightingAblationRuns) {
   const auto split = EasySplit();
   auto config = FastConfig();
+  config.epochs = 5.0;
   config.weight_by_tie_degree = false;
   const auto model = DeepDirectModel::Train(split.network, config);
   EXPECT_GT(DirectionDiscoveryAccuracy(split, *model), 0.55);
@@ -224,6 +226,85 @@ TEST(DeepDirectTest, WorksWithoutUndirectedTies) {
   const auto model = DeepDirectModel::Train(net, FastConfig());
   const auto [u, v] = model->index().ArcAt(0);
   EXPECT_GE(model->Directionality(u, v), 0.0);
+}
+
+#if DEEPDIRECT_OBS
+TEST(DeepDirectTest, NegativeCollisionsAreRedrawnNotSkipped) {
+  // On a tiny network the noise table frequently draws the positive
+  // context. Collisions must be redrawn — every E-Step iteration still
+  // trains on exactly λ negatives — instead of silently dropping the draw.
+  obs::Registry::Default().Reset();
+  obs::Registry::Default().set_enabled(true);
+
+  data::GeneratorConfig gen;
+  gen.num_nodes = 12;
+  gen.ties_per_node = 2.0;
+  gen.bidirectional_fraction = 0.2;
+  gen.seed = 41;
+  const auto net = data::GenerateStatusNetwork(gen);
+  DeepDirectConfig config;
+  config.dimensions = 8;
+  config.epochs = 5.0;
+  config.seed = 21;
+  DeepDirectModel::Train(net, config);
+
+  obs::Registry& registry = obs::Registry::Default();
+  const uint64_t steps =
+      registry.GetCounter("train.deepdirect.estep.steps")->Value();
+  const uint64_t negatives =
+      registry.GetCounter("deepdirect.estep.sampler.negatives_trained")
+          ->Value();
+  const uint64_t collisions =
+      registry.GetCounter("deepdirect.estep.sampler.negative_collisions")
+          ->Value();
+  obs::Registry::Default().set_enabled(false);
+  obs::Registry::Default().Reset();
+
+  ASSERT_GT(steps, 0u);
+  // This graph is small enough that collisions certainly occur...
+  EXPECT_GT(collisions, 0u);
+  // ...yet every step still trained the full λ negatives.
+  EXPECT_EQ(negatives, steps * config.negative_samples);
+}
+#endif  // DEEPDIRECT_OBS
+
+TEST(DeepDirectTest, PrecomputePatternsMultiThreadedDeterministic) {
+  // The pattern precompute shards undirected arcs over fixed-size blocks
+  // with a per-arc counter-based RNG, so every output array must be
+  // bit-identical regardless of worker count.
+  const auto split = EasySplit();
+  const TieIndex index(split.network);
+  auto config = FastConfig();
+  config.num_threads = 1;
+  const auto serial = PrecomputePatterns(split.network, index, config);
+  config.num_threads = 4;
+  const auto parallel = PrecomputePatterns(split.network, index, config);
+
+  EXPECT_GT(serial.num_pattern_arcs(), 0u);
+  EXPECT_EQ(serial.slot, parallel.slot);
+  EXPECT_EQ(serial.degree_pseudo_label, parallel.degree_pseudo_label);
+  EXPECT_EQ(serial.degree_active, parallel.degree_active);
+  EXPECT_EQ(serial.triad_offsets, parallel.triad_offsets);
+  EXPECT_EQ(serial.triad_pairs, parallel.triad_pairs);
+}
+
+TEST(DeepDirectTest, PrecomputePatternsTriadArenaIsConsistent) {
+  const auto split = EasySplit();
+  const TieIndex index(split.network);
+  const auto patterns =
+      PrecomputePatterns(split.network, index, FastConfig());
+  const size_t slots = patterns.num_pattern_arcs();
+  ASSERT_EQ(patterns.triad_offsets.size(), slots + 1);
+  EXPECT_EQ(patterns.triad_offsets.front(), 0u);
+  EXPECT_EQ(patterns.triad_offsets.back(), patterns.triad_pairs.size());
+  for (size_t s = 0; s + 1 <= slots; ++s) {
+    EXPECT_LE(patterns.triad_offsets[s], patterns.triad_offsets[s + 1]);
+  }
+  // Every referenced pair names valid arcs of the closure.
+  for (const auto& [a, b] : patterns.triad_pairs) {
+    EXPECT_LT(a, index.num_arcs());
+    EXPECT_LT(b, index.num_arcs());
+  }
 }
 
 TEST(DeepDirectTest, TieEmbeddingAccessors) {

@@ -78,6 +78,56 @@ TEST(GraphIoTest, DeclaredNodeCountHonored) {
   EXPECT_EQ(loaded.value().num_nodes(), 10u);
 }
 
+TEST(GraphIoTest, CrlfLineEndingsParse) {
+  // Windows-edited edge lists carry \r\n terminators; the trailing \r must
+  // not leak into the type token or the '# nodes' header value.
+  std::stringstream in(
+      "# nodes 10\r\n"
+      "0 1 d\r\n"
+      "1 2 u\r\n"
+      "2 3 b\r\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), 10u);
+  EXPECT_EQ(loaded.value().num_ties(), 3u);
+  EXPECT_TRUE(loaded.value().HasArc(0, 1));
+  EXPECT_FALSE(loaded.value().HasArc(1, 0));
+}
+
+TEST(GraphIoTest, WhitespaceOnlyLinesIgnored) {
+  // Lines that are blank after trimming (spaces, tabs, a lone \r) are
+  // separators, not malformed ties.
+  std::stringstream in(
+      "0 1 d\n"
+      "   \t \n"
+      "\r\n"
+      "1 2 u\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_ties(), 2u);
+}
+
+TEST(GraphIoTest, RejectsTrailingGarbageWithLineNumber) {
+  std::stringstream in(
+      "0 1 d\n"
+      "1 2 u extra\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  // The error must pinpoint the offending line and echo the stray token.
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("extra"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsMergedLinesAsTrailingGarbage) {
+  // A missing newline gluing two records together must not silently drop
+  // the second tie.
+  std::stringstream in("0 1 d 1 2 u\n");
+  auto loaded = ReadEdgeList(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
 TEST(GraphIoTest, RejectsUnknownTieType) {
   std::stringstream in("0 1 x\n");
   auto loaded = ReadEdgeList(in);

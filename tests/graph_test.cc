@@ -272,5 +272,41 @@ TEST(GraphInvariantTest, DegreeSumsConsistent) {
   EXPECT_DOUBLE_EQ(in_sum, expected);
 }
 
+TEST(GraphInvariantTest, BuildMultiThreadedDeterministic) {
+  // The two-pass parallel Build must produce exactly the network the
+  // serial build does: same arcs, same sorted undirected adjacency, same
+  // connected-tie-pair count.
+  const auto make = [](size_t num_threads) {
+    util::Rng rng(101);
+    GraphBuilder builder(200);
+    for (int tie = 0; tie < 600; ++tie) {
+      const NodeId u = static_cast<NodeId>(rng.NextIndex(200));
+      const NodeId v = static_cast<NodeId>(rng.NextIndex(200));
+      if (u == v) continue;
+      const auto type = static_cast<TieType>(rng.NextIndex(3));
+      // Duplicate pairs are rejected; that is fine here.
+      (void)builder.AddTie(u, v, type);
+    }
+    builder.SetNumThreads(num_threads);
+    return std::move(builder).Build();
+  };
+  const auto serial = make(1);
+  const auto parallel = make(4);
+
+  ASSERT_EQ(serial.num_arcs(), parallel.num_arcs());
+  for (ArcId id = 0; id < serial.num_arcs(); ++id) {
+    EXPECT_EQ(serial.arc(id), parallel.arc(id));
+    EXPECT_EQ(serial.twin(id), parallel.twin(id));
+  }
+  EXPECT_EQ(serial.NumConnectedTiePairs(), parallel.NumConnectedTiePairs());
+  for (NodeId u = 0; u < serial.num_nodes(); ++u) {
+    const auto sn = serial.UndirectedNeighbors(u);
+    const auto pn = parallel.UndirectedNeighbors(u);
+    ASSERT_EQ(sn.size(), pn.size()) << "node " << u;
+    EXPECT_TRUE(std::equal(sn.begin(), sn.end(), pn.begin()))
+        << "node " << u;
+  }
+}
+
 }  // namespace
 }  // namespace deepdirect::graph

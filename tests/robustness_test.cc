@@ -39,11 +39,14 @@ TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
 }
 
 TEST(ParserFuzzTest, ValidLinesWithGarbageSuffixStillRejectedOrParsed) {
-  // Trailing tokens after the type letter are ignored by design (stream
-  // extraction), so this parses.
+  // Trailing tokens after the type letter mean the line is not what the
+  // parser read — it must fail loudly instead of training on misparsed
+  // data.
   std::stringstream stream("0 1 d trailing junk\n");
   const auto result = graph::ReadEdgeList(stream);
-  EXPECT_TRUE(result.ok());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
 }
 
 TEST(RobustnessTest, MinimalNetworks) {
