@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "bench_common.h"
 #include "core/deepdirect.h"
 #include "core/tie_index.h"
@@ -277,6 +279,72 @@ void BM_LineEmbeddingEpoch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LineEmbeddingEpoch)->Unit(benchmark::kMillisecond);
+
+// Shared CSV for the checkpoint-overhead rows (one per write cadence).
+util::CsvWriter& CheckpointOverheadCsv() {
+  static util::CsvWriter csv = [] {
+    util::CsvWriter writer(bench::OpenResultCsv("checkpoint_overhead"));
+    writer.WriteRow({"checkpoint_every_epochs", "seconds_per_run",
+                     "bytes_per_checkpoint", "overhead_vs_off"});
+    return writer;
+  }();
+  return csv;
+}
+
+void BM_CheckpointOverhead(benchmark::State& state) {
+  // Wall-clock cost the checkpoint layer adds to a training run: LINE over
+  // a fixed 4-epoch budget, checkpointing every Arg(0) epochs (0 = off,
+  // the baseline row). The serialized state is the four embedding/context
+  // matrices — the same shape every production trainer snapshots.
+  const auto& net = BenchNetwork();
+  embedding::LineConfig config;
+  config.dimensions = 64;
+  config.samples_per_arc = 5;  // 5 epochs of num_arcs steps
+  const uint64_t every = static_cast<uint64_t>(state.range(0));
+  const std::string dir = "/tmp/deepdirect_bench_ckpt";
+  if (every > 0) {
+    config.checkpoint.dir = dir;
+    config.checkpoint.policy.every_n_epochs = every;
+    config.checkpoint.policy.keep_last = 1;
+  }
+
+  util::Timer timer;
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    auto line = embedding::LineEmbedding::Train(net, config);
+    benchmark::DoNotOptimize(line.dimensions());
+  }
+  const double seconds =
+      timer.ElapsedSeconds() / static_cast<double>(state.iterations());
+
+  uintmax_t checkpoint_bytes = 0;
+  if (every > 0 && std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      checkpoint_bytes += entry.file_size();
+    }
+    std::filesystem::remove_all(dir);
+  }
+  state.counters["bytes_per_checkpoint"] =
+      static_cast<double>(checkpoint_bytes);
+
+  // The cadence-0 row runs first (benchmark args are ordered) and anchors
+  // the overhead ratio for the others.
+  static double baseline_seconds = 0.0;
+  if (every == 0) baseline_seconds = seconds;
+  const double overhead =
+      baseline_seconds > 0.0 ? seconds / baseline_seconds - 1.0 : 0.0;
+  state.counters["overhead_vs_off"] = overhead;
+  CheckpointOverheadCsv().WriteRow(
+      {std::to_string(every), std::to_string(seconds),
+       std::to_string(checkpoint_bytes), std::to_string(overhead)});
+}
+BENCHMARK(BM_CheckpointOverhead)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(2)
+    ->Arg(1)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -33,6 +33,7 @@
 #include "graph/algorithms.h"
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
+#include "train/checkpoint.h"
 #include "util/csv_writer.h"
 #include "util/random.h"
 
@@ -58,7 +59,13 @@ int Usage() {
                " Hogwild)\n"
                "--metrics-out: write a training-telemetry snapshot (phase"
                " timings,\n  losses, sampler counters) to the given path"
-               " (.csv = CSV, else JSON);\n  accepted by every command\n");
+               " (.csv = CSV, else JSON);\n  accepted by every command\n"
+               "--checkpoint-dir: write crash-safe training checkpoints"
+               " into this\n  directory (discover/quantify/embed);"
+               " --checkpoint-every N sets the\n  epoch cadence (default 1),"
+               " --checkpoint-keep K the retention (default\n  3, 0 = keep"
+               " all), and --resume restarts from the newest valid\n"
+               "  checkpoint after an interruption\n");
   return 2;
 }
 
@@ -89,13 +96,21 @@ std::optional<data::DatasetId> ParseDataset(const std::string& name) {
   return std::nullopt;
 }
 
-// Flat --key value parsing; returns empty string for absent keys.
+// Flat --key [value] parsing; a flag followed by another flag (or the end
+// of the argument list) is valueless and maps to the empty string, so bare
+// switches like --resume parse alongside --key value pairs.
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    flags[argv[i] + 2] = argv[i + 1];
+    const std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[i + 1];
+      ++i;
+    } else {
+      flags[key] = "";
+    }
   }
   return flags;
 }
@@ -118,6 +133,46 @@ int RunGenerate(const std::map<std::string, std::string>& flags) {
   std::printf("wrote %zu nodes / %zu ties to %s\n", net.num_nodes(),
               net.num_ties(), output_it->second.c_str());
   return 0;
+}
+
+// The --checkpoint-dir / --checkpoint-every / --checkpoint-keep / --resume
+// flag family.
+struct CheckpointFlags {
+  std::string dir;  ///< empty = checkpointing off
+  train::CheckpointPolicy policy;
+  bool resume = false;
+};
+
+// Parses the checkpoint flags; nullopt after printing an error when a value
+// is malformed or --resume is given without --checkpoint-dir.
+std::optional<CheckpointFlags> ParseCheckpointFlags(
+    const std::map<std::string, std::string>& flags) {
+  CheckpointFlags out;
+  if (flags.contains("checkpoint-dir")) out.dir = flags.at("checkpoint-dir");
+  out.resume = flags.contains("resume");
+  if (out.resume && out.dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
+    return std::nullopt;
+  }
+  const auto number_flag = [&](const char* name,
+                               uint64_t* value) -> bool {
+    if (!flags.contains(name)) return true;
+    const auto parsed = ParseThreads(flags.at(name));
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "error: --%s expects a number, got '%s'\n", name,
+                   flags.at(name).c_str());
+      return false;
+    }
+    *value = *parsed;
+    return true;
+  };
+  uint64_t keep = out.policy.keep_last;
+  if (!number_flag("checkpoint-every", &out.policy.every_n_epochs) ||
+      !number_flag("checkpoint-keep", &keep)) {
+    return std::nullopt;
+  }
+  out.policy.keep_last = static_cast<size_t>(keep);
+  return out;
 }
 
 // Parses the optional --threads flag; nullopt after printing an error when
@@ -172,6 +227,11 @@ int RunDiscoverOrQuantify(const std::string& command,
 
   auto configs = core::MethodConfigs::FastDefaults();
   configs.SetNumThreads(*threads);
+  const auto ckpt = ParseCheckpointFlags(flags);
+  if (!ckpt.has_value()) return 1;
+  if (!ckpt->dir.empty()) {
+    configs.SetCheckpointing(ckpt->dir, ckpt->policy, ckpt->resume);
+  }
   std::printf("training %s on %zu nodes / %zu ties (%zu directed)...\n",
               core::MethodName(*method), train_net.num_nodes(),
               train_net.num_ties(), train_net.num_directed_ties());
@@ -234,6 +294,14 @@ int RunEmbed(const std::map<std::string, std::string>& flags) {
   }
   config.num_threads = *threads;
   config.d_step.num_threads = *threads;
+  const auto ckpt = ParseCheckpointFlags(flags);
+  if (!ckpt.has_value()) return 1;
+  if (!ckpt->dir.empty()) {
+    config.checkpoint = {ckpt->dir, "deepdirect.estep", ckpt->policy,
+                         ckpt->resume};
+    config.d_step.checkpoint = {ckpt->dir, "deepdirect.dstep", ckpt->policy,
+                                ckpt->resume};
+  }
   std::printf("embedding %zu ties at l=%zu...\n", network.num_ties(),
               config.dimensions);
   const auto model = core::DeepDirectModel::Train(network, config);

@@ -221,9 +221,42 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
   options.num_threads = config.num_threads;
   options.lr = config.Schedule();
   options.shard_seed = config.seed;
+  // One epoch is |C(G)| iterations (τ epochs total; the last may be
+  // partial when τ is fractional).
+  options.steps_per_epoch = idx.NumConnectedTiePairs();
   options.progress = config.progress;
   options.report_every = config.report_every;
   options.metrics_prefix = "train.deepdirect.estep";
+
+  train::CheckpointOptions ckpt_options = config.checkpoint;
+  if (ckpt_options.trainer.empty()) ckpt_options.trainer = "deepdirect.estep";
+  train::Checkpointer checkpointer(
+      ckpt_options,
+      train::RunShape{iterations, options.steps_per_epoch, config.seed,
+                      options.lr},
+      [&](train::CheckpointWriter& writer) {
+        writer.AddVector("m", m.data());
+        writer.AddVector("n", n.data());
+        writer.AddVector("w_prime", w_prime);
+        writer.AddPod("b_prime", b_prime);
+      },
+      [&](const train::CheckpointData& ckpt) -> util::Status {
+        std::vector<float> saved_m, saved_n;
+        DD_RETURN_NOT_OK(ckpt.ReadVector("m", &saved_m, m.data().size()));
+        DD_RETURN_NOT_OK(ckpt.ReadVector("n", &saved_n, n.data().size()));
+        std::vector<double> saved_w;
+        DD_RETURN_NOT_OK(ckpt.ReadVector("w_prime", &saved_w, l));
+        double saved_b = 0.0;
+        DD_RETURN_NOT_OK(ckpt.ReadPod("b_prime", &saved_b));
+        m.data() = std::move(saved_m);
+        n.data() = std::move(saved_n);
+        w_prime = std::move(saved_w);
+        b_prime = saved_b;
+        return util::Status::OK();
+      });
+  options.start_epoch = checkpointer.Resume(rng);
+  options.checkpointer = &checkpointer;
+
   train::SgdDriver driver(options);
 
   std::vector<std::vector<double>> grad_scratch(
@@ -382,6 +415,12 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
   FlushTallies(tallies);
   model->e_step_weights_ = w_prime;
   model->e_step_bias_ = b_prime;
+
+  // A simulated preemption stopped the E-Step mid-run: a killed process
+  // would never have reached the D-Step, so return the partial model here
+  // — running (and checkpointing) the D-Step on a half-trained embedding
+  // would poison a later resume.
+  if (checkpointer.stopped()) return model;
 
   // --- D-Step (Sec. 4.5.2): warm-started L2 logistic regression on the
   // embedding rows of labeled arcs.

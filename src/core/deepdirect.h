@@ -45,6 +45,7 @@
 #include "ml/logistic_regression.h"
 #include "ml/matrix.h"
 #include "ml/mlp.h"
+#include "train/checkpoint.h"
 #include "train/lr_schedule.h"
 #include "train/progress_reporter.h"
 
@@ -98,7 +99,8 @@ struct DeepDirectConfig {
   ml::LogisticRegressionConfig d_step = {
       .epochs = 20, .learning_rate = 0.05, .min_lr_fraction = 0.1,
       .l2 = 1e-4, .seed = 23, .shuffle = true,
-      .metrics_prefix = "train.deepdirect.dstep"};
+      .metrics_prefix = "train.deepdirect.dstep",
+      .checkpoint = {.trainer = "deepdirect.dstep"}};
   /// Which D-Step head realizes the directionality function. The logistic
   /// regression is always trained (it provides the warm-started Eq. 26
   /// head); selecting kMlp additionally trains a nonlinear head and routes
@@ -113,6 +115,12 @@ struct DeepDirectConfig {
   /// long trainings; leave empty for silence.
   train::ProgressCallback progress = nullptr;
   uint64_t report_every = 1000000;
+  /// Crash-safe E-Step checkpoint/resume (off unless `checkpoint.dir` is
+  /// set); one epoch is |C(G)| iterations. The default trainer tag is
+  /// "deepdirect.estep". The D-Step carries its own options in
+  /// `d_step.checkpoint`. When a simulated preemption stops the E-Step,
+  /// Train() returns the partial model without running the D-Step.
+  train::CheckpointOptions checkpoint;
 
   /// The E-Step decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

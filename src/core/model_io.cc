@@ -1,16 +1,23 @@
 // Binary serialization of trained DeepDirect models.
 //
-// Layout (little-endian, as written by the host):
-//   magic   "DDM1"                      (4 bytes)
-//   u64     num_arcs                    (must match the network's closure)
-//   u64     arc_hash                    (FNV-1a over the closure arc list)
-//   u64     dimensions
-//   f32[num_arcs * dimensions]          embedding matrix M, row-major
-//   f64[dimensions] + f64               D-Step weights w and bias b
-//   f64[dimensions] + f64               E-Step weights w' and bias b'
+// Built on the train/checkpoint.h container: magic "DDM2", CRC32-protected
+// sections, atomic temp+fsync+rename writes. A crash mid-save leaves the
+// previous file (or none) — never a truncated hybrid — and any truncation
+// or bit flip of a saved file is rejected by Load with a section-anchored
+// error instead of being half-accepted.
+//
+// Sections:
+//   meta        u64 num_arcs, u64 arc_hash (FNV-1a over the closure arc
+//               list), u64 dimensions
+//   embeddings  f32[num_arcs * dimensions], row-major matrix M
+//   d_step_w    f64[dimensions]          D-Step weights w
+//   d_step_b    f64                      D-Step bias b
+//   e_step_w    f64[dimensions]          E-Step weights w'
+//   e_step_b    f64                      E-Step bias b'
 
+#include <array>
 #include <cstring>
-#include <fstream>
+#include <utility>
 
 #include "core/deepdirect.h"
 
@@ -18,18 +25,13 @@ namespace deepdirect::core {
 
 namespace {
 
-constexpr char kMagic[4] = {'D', 'D', 'M', '1'};
+constexpr std::array<char, 4> kModelMagic{'D', 'D', 'M', '2'};
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
+struct ModelMeta {
+  uint64_t num_arcs = 0;
+  uint64_t arc_hash = 0;
+  uint64_t dimensions = 0;
+};
 
 // FNV-1a over the closure arc endpoints: detects "same size, different
 // network" mismatches at load time.
@@ -53,82 +55,49 @@ util::Status DeepDirectModel::Save(const std::string& path) const {
     return util::Status::FailedPrecondition(
         "models with an MLP D-Step head are not serializable");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) {
-    return util::Status::IOError("cannot open for writing: " + path);
-  }
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<uint64_t>(out, embeddings_.rows());
-  WritePod<uint64_t>(out, HashIndex(index_));
-  WritePod<uint64_t>(out, embeddings_.cols());
-  out.write(reinterpret_cast<const char*>(embeddings_.data().data()),
-            static_cast<std::streamsize>(embeddings_.data().size() *
-                                         sizeof(float)));
-  for (double w : d_step_.weights()) WritePod(out, w);
-  WritePod(out, d_step_.bias());
-  for (double w : e_step_weights_) WritePod(out, w);
-  WritePod(out, e_step_bias_);
-  out.flush();
-  if (!out.good()) return util::Status::IOError("write failed: " + path);
-  return util::Status::OK();
+  train::CheckpointWriter writer(kModelMagic);
+  ModelMeta meta;
+  meta.num_arcs = embeddings_.rows();
+  meta.arc_hash = HashIndex(index_);
+  meta.dimensions = embeddings_.cols();
+  writer.AddPod("meta", meta);
+  writer.AddVector("embeddings", embeddings_.data());
+  writer.AddVector("d_step_w", d_step_.weights());
+  writer.AddPod("d_step_b", d_step_.bias());
+  writer.AddVector("e_step_w", e_step_weights_);
+  writer.AddPod("e_step_b", e_step_bias_);
+  return writer.WriteAtomic(path);
 }
 
 util::Result<std::unique_ptr<DeepDirectModel>> DeepDirectModel::Load(
     const std::string& path, const graph::MixedSocialNetwork& g) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
-    return util::Status::IOError("cannot open for reading: " + path);
-  }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return util::Status::InvalidArgument("not a DeepDirect model file: " +
-                                         path);
-  }
-  uint64_t num_arcs = 0, arc_hash = 0, dimensions = 0;
-  if (!ReadPod(in, &num_arcs) || !ReadPod(in, &arc_hash) ||
-      !ReadPod(in, &dimensions)) {
-    return util::Status::InvalidArgument("truncated model header: " + path);
-  }
+  auto read = train::CheckpointData::Read(path, kModelMagic);
+  if (!read.ok()) return read.status();
+  const train::CheckpointData& file = read.value();
+
+  ModelMeta meta;
+  DD_RETURN_NOT_OK(file.ReadPod("meta", &meta));
 
   TieIndex index(g);
-  if (index.num_arcs() != num_arcs || HashIndex(index) != arc_hash) {
+  if (index.num_arcs() != meta.num_arcs || HashIndex(index) != meta.arc_hash) {
     return util::Status::InvalidArgument(
         "network mismatch: the model was trained on a different network "
-        "(closure arcs: " + std::to_string(num_arcs) + " vs " +
+        "(closure arcs: " + std::to_string(meta.num_arcs) + " vs " +
         std::to_string(index.num_arcs()) + ")");
   }
 
   std::unique_ptr<DeepDirectModel> model(
-      new DeepDirectModel(std::move(index), dimensions));
-  auto& data = model->embeddings_.data();
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(data.size() * sizeof(float)));
-  if (!in.good()) {
-    return util::Status::InvalidArgument("truncated embedding matrix: " +
-                                         path);
-  }
-  std::vector<double> d_weights(dimensions);
+      new DeepDirectModel(std::move(index), meta.dimensions));
+  DD_RETURN_NOT_OK(file.ReadVector("embeddings", &model->embeddings_.data(),
+                                   meta.num_arcs * meta.dimensions));
+  std::vector<double> d_weights;
   double d_bias = 0.0;
-  for (double& w : d_weights) {
-    if (!ReadPod(in, &w)) {
-      return util::Status::InvalidArgument("truncated D-Step head: " + path);
-    }
-  }
-  if (!ReadPod(in, &d_bias)) {
-    return util::Status::InvalidArgument("truncated D-Step head: " + path);
-  }
+  DD_RETURN_NOT_OK(file.ReadVector("d_step_w", &d_weights, meta.dimensions));
+  DD_RETURN_NOT_OK(file.ReadPod("d_step_b", &d_bias));
   model->d_step_ = ml::LogisticRegression(std::move(d_weights), d_bias);
-
-  model->e_step_weights_.resize(dimensions);
-  for (double& w : model->e_step_weights_) {
-    if (!ReadPod(in, &w)) {
-      return util::Status::InvalidArgument("truncated E-Step head: " + path);
-    }
-  }
-  if (!ReadPod(in, &model->e_step_bias_)) {
-    return util::Status::InvalidArgument("truncated E-Step head: " + path);
-  }
+  DD_RETURN_NOT_OK(file.ReadVector("e_step_w", &model->e_step_weights_,
+                                   meta.dimensions));
+  DD_RETURN_NOT_OK(file.ReadPod("e_step_b", &model->e_step_bias_));
   return model;
 }
 

@@ -60,6 +60,28 @@ struct MethodConfigs {
     hf.features.num_threads = n;
     hf.regression.num_threads = n;
   }
+
+  /// Enables crash-safe checkpointing for every SgdDriver trainer: all
+  /// five write into `dir` under distinguishing trainer tags
+  /// (deepdirect.estep, deepdirect.dstep, line.embed, line.regression,
+  /// hf.regression), so one directory serves a whole pipeline run. With
+  /// `resume` set, each trainer restores its newest valid checkpoint
+  /// before training.
+  void SetCheckpointing(const std::string& dir,
+                        const train::CheckpointPolicy& policy, bool resume) {
+    auto apply = [&](train::CheckpointOptions& options,
+                     const std::string& trainer) {
+      options.dir = dir;
+      options.trainer = trainer;
+      options.policy = policy;
+      options.resume = resume;
+    };
+    apply(deepdirect.checkpoint, "deepdirect.estep");
+    apply(deepdirect.d_step.checkpoint, "deepdirect.dstep");
+    apply(line.line.checkpoint, "line.embed");
+    apply(line.regression.checkpoint, "line.regression");
+    apply(hf.regression.checkpoint, "hf.regression");
+  }
 };
 
 /// Trains `method` on `g` with the matching config from `configs`.

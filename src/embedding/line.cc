@@ -73,7 +73,40 @@ LineEmbedding LineEmbedding::Train(const MixedSocialNetwork& g,
   options.num_threads = config.num_threads;
   options.lr = config.Schedule();
   options.shard_seed = config.seed;
+  // One "epoch" is num_arcs samples (one expected pass over the arcs).
+  options.steps_per_epoch = g.num_arcs();
   options.metrics_prefix = config.metrics_prefix;
+
+  train::CheckpointOptions ckpt_options = config.checkpoint;
+  if (ckpt_options.trainer.empty()) ckpt_options.trainer = "line";
+  train::Checkpointer checkpointer(
+      ckpt_options,
+      train::RunShape{options.steps, options.steps_per_epoch, config.seed,
+                      options.lr},
+      [&](train::CheckpointWriter& writer) {
+        writer.AddVector("first", first.data());
+        writer.AddVector("first_ctx", first_ctx.data());
+        writer.AddVector("second", second.data());
+        writer.AddVector("second_ctx", second_ctx.data());
+      },
+      [&](const train::CheckpointData& ckpt) -> util::Status {
+        std::vector<float> m1, m2, m3, m4;
+        DD_RETURN_NOT_OK(ckpt.ReadVector("first", &m1, first.data().size()));
+        DD_RETURN_NOT_OK(
+            ckpt.ReadVector("first_ctx", &m2, first_ctx.data().size()));
+        DD_RETURN_NOT_OK(
+            ckpt.ReadVector("second", &m3, second.data().size()));
+        DD_RETURN_NOT_OK(
+            ckpt.ReadVector("second_ctx", &m4, second_ctx.data().size()));
+        first.data() = std::move(m1);
+        first_ctx.data() = std::move(m2);
+        second.data() = std::move(m3);
+        second_ctx.data() = std::move(m4);
+        return util::Status::OK();
+      });
+  options.start_epoch = checkpointer.Resume(rng);
+  options.checkpointer = &checkpointer;
+
   train::SgdDriver driver(options);
 
   std::vector<std::vector<double>> grad_scratch(

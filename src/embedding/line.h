@@ -19,6 +19,7 @@
 
 #include "graph/mixed_graph.h"
 #include "ml/matrix.h"
+#include "train/checkpoint.h"
 #include "train/lr_schedule.h"
 #include "util/random.h"
 
@@ -44,6 +45,9 @@ struct LineConfig {
   size_t num_threads = 1;
   /// Telemetry prefix for the obs registry; empty disables recording.
   std::string metrics_prefix = "train.line";
+  /// Crash-safe checkpoint/resume (off unless `checkpoint.dir` is set).
+  /// One epoch is num_arcs steps; the default trainer tag is "line".
+  train::CheckpointOptions checkpoint;
 
   /// The decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

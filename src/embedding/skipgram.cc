@@ -57,7 +57,33 @@ ml::Matrix TrainSkipGram(const WalkCorpus& corpus, size_t num_nodes,
   options.num_threads = config.num_threads;
   options.lr = config.Schedule();
   options.shard_seed = config.seed;
+  options.steps_per_epoch = tokens_per_epoch;
   options.metrics_prefix = config.metrics_prefix;
+
+  train::CheckpointOptions ckpt_options = config.checkpoint;
+  if (ckpt_options.trainer.empty()) ckpt_options.trainer = "skipgram";
+  train::Checkpointer checkpointer(
+      ckpt_options,
+      train::RunShape{options.steps, tokens_per_epoch, config.seed,
+                      options.lr},
+      [&](train::CheckpointWriter& writer) {
+        writer.AddVector("vectors", vectors.data());
+        writer.AddVector("contexts", contexts.data());
+      },
+      [&](const train::CheckpointData& ckpt) -> util::Status {
+        std::vector<float> saved_vectors;
+        std::vector<float> saved_contexts;
+        DD_RETURN_NOT_OK(ckpt.ReadVector("vectors", &saved_vectors,
+                                         vectors.data().size()));
+        DD_RETURN_NOT_OK(ckpt.ReadVector("contexts", &saved_contexts,
+                                         contexts.data().size()));
+        vectors.data() = std::move(saved_vectors);
+        contexts.data() = std::move(saved_contexts);
+        return util::Status::OK();
+      });
+  options.start_epoch = checkpointer.Resume(rng);
+  options.checkpointer = &checkpointer;
+
   train::SgdDriver driver(options);
 
   std::vector<std::vector<double>> grad_scratch(

@@ -9,6 +9,7 @@
 
 #include "embedding/random_walks.h"
 #include "ml/matrix.h"
+#include "train/checkpoint.h"
 #include "train/lr_schedule.h"
 
 namespace deepdirect::embedding {
@@ -29,6 +30,9 @@ struct SkipGramConfig {
   size_t num_threads = 1;
   /// Telemetry prefix for the obs registry; empty disables recording.
   std::string metrics_prefix = "train.skipgram";
+  /// Crash-safe checkpoint/resume (off unless `checkpoint.dir` is set).
+  /// The default trainer tag is "skipgram".
+  train::CheckpointOptions checkpoint;
 
   /// The decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "ml/matrix.h"
 #include "train/sgd_driver.h"
@@ -27,7 +28,7 @@ double LogisticRegression::Train(const Dataset& data,
   if (data.size() == 0) return 0.0;
 
   util::Rng rng(config.seed);
-  std::vector<size_t> order(data.size());
+  std::vector<uint64_t> order(data.size());
   std::iota(order.begin(), order.end(), 0);
 
   const uint64_t n = data.size();
@@ -39,54 +40,84 @@ double LogisticRegression::Train(const Dataset& data,
   double weight_total = 0.0;
   for (size_t i = 0; i < n; ++i) weight_total += data.Weight(i);
 
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  train::SgdOptions options;
+  options.steps = total_steps;
+  options.total_steps = total_steps;
+  options.steps_per_epoch = n;
+  options.num_threads = config.num_threads;
+  options.lr = config.Schedule();
+  options.shard_seed = config.seed;  // body draws no randomness; unused
+  options.metrics_prefix = config.metrics_prefix;
+  options.epoch_start = [&](uint64_t) {
     if (config.shuffle) rng.Shuffle(order);
-
-    train::SgdOptions options;
-    options.steps = n;
-    options.step_offset = epoch * n;
-    options.total_steps = total_steps;
-    options.num_threads = config.num_threads;
-    options.lr = config.Schedule();
-    options.shard_seed = config.seed;  // body draws no randomness; unused
-    options.metrics_prefix = config.metrics_prefix;
-    train::SgdDriver driver(options);
-
-    const double epoch_loss = driver.Run(
-        rng, [&](auto access, const train::SgdStep& ctx) -> double {
-          using A = decltype(access);
-          const size_t i = order[ctx.step - epoch * n];
-          const auto x = data.Row(i);
-          const double y = data.Label(i);
-          const double sample_weight = data.Weight(i);
-
-          double score = A::Load(bias_);
-          for (size_t j = 0; j < weights_.size(); ++j) {
-            score += A::Load(weights_[j]) * x[j];
-          }
-          const double p = Sigmoid(score);
-          // Gradient of weighted cross-entropy wrt score is
-          // weight * (p - y).
-          const double gradient = sample_weight * (p - y);
-
-          for (size_t j = 0; j < weights_.size(); ++j) {
-            const double w = A::Load(weights_[j]);
-            A::Store(weights_[j],
-                     w - ctx.lr * (gradient * x[j] + config.l2 * w));
-          }
-          A::Store(bias_, A::Load(bias_) - ctx.lr * gradient);
-
-          const double eps = 1e-12;
-          return -sample_weight * (y * std::log(p + eps) +
-                                   (1.0 - y) * std::log(1.0 - p + eps));
-        });
-
+  };
+  options.epoch_end = [&](const train::EpochEnd& boundary) {
     double l2_term = 0.0;
     for (double w : weights_) l2_term += w * w;
     last_epoch_loss =
-        (weight_total > 0 ? epoch_loss / weight_total : 0.0) +
+        (weight_total > 0 ? boundary.loss / weight_total : 0.0) +
         0.5 * config.l2 * l2_term;
-  }
+  };
+
+  // The shuffled visit order is cumulative state (each epoch permutes the
+  // previous epoch's order), so it is part of the snapshot alongside the
+  // parameters.
+  train::CheckpointOptions ckpt_options = config.checkpoint;
+  if (ckpt_options.trainer.empty()) ckpt_options.trainer = "logreg";
+  train::Checkpointer checkpointer(
+      ckpt_options,
+      train::RunShape{total_steps, n, config.seed, options.lr},
+      [&](train::CheckpointWriter& writer) {
+        writer.AddVector("weights", weights_);
+        writer.AddPod("bias", bias_);
+        writer.AddVector("order", order);
+        writer.AddPod("last_epoch_loss", last_epoch_loss);
+      },
+      [&](const train::CheckpointData& ckpt) -> util::Status {
+        std::vector<double> weights;
+        DD_RETURN_NOT_OK(
+            ckpt.ReadVector("weights", &weights, weights_.size()));
+        double bias = 0.0;
+        DD_RETURN_NOT_OK(ckpt.ReadPod("bias", &bias));
+        std::vector<uint64_t> saved_order;
+        DD_RETURN_NOT_OK(ckpt.ReadVector("order", &saved_order, n));
+        double saved_loss = 0.0;
+        DD_RETURN_NOT_OK(ckpt.ReadPod("last_epoch_loss", &saved_loss));
+        weights_ = std::move(weights);
+        bias_ = bias;
+        order = std::move(saved_order);
+        last_epoch_loss = saved_loss;
+        return util::Status::OK();
+      });
+  options.start_epoch = checkpointer.Resume(rng);
+  options.checkpointer = &checkpointer;
+
+  train::SgdDriver driver(options);
+  driver.Run(rng, [&](auto access, const train::SgdStep& ctx) -> double {
+    using A = decltype(access);
+    const size_t i = order[ctx.step % n];
+    const auto x = data.Row(i);
+    const double y = data.Label(i);
+    const double sample_weight = data.Weight(i);
+
+    double score = A::Load(bias_);
+    for (size_t j = 0; j < weights_.size(); ++j) {
+      score += A::Load(weights_[j]) * x[j];
+    }
+    const double p = Sigmoid(score);
+    // Gradient of weighted cross-entropy wrt score is weight * (p - y).
+    const double gradient = sample_weight * (p - y);
+
+    for (size_t j = 0; j < weights_.size(); ++j) {
+      const double w = A::Load(weights_[j]);
+      A::Store(weights_[j], w - ctx.lr * (gradient * x[j] + config.l2 * w));
+    }
+    A::Store(bias_, A::Load(bias_) - ctx.lr * gradient);
+
+    const double eps = 1e-12;
+    return -sample_weight *
+           (y * std::log(p + eps) + (1.0 - y) * std::log(1.0 - p + eps));
+  });
   return last_epoch_loss;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "train/checkpoint.h"
 #include "train/lr_schedule.h"
 #include "util/random.h"
 
@@ -36,6 +37,10 @@ struct LogisticRegressionConfig {
   /// epoch); empty disables recording. Hosts that embed this trainer set a
   /// distinguishing prefix (e.g. DeepDirect's D-Step).
   std::string metrics_prefix = "train.logreg";
+  /// Crash-safe checkpoint/resume (off unless `checkpoint.dir` is set).
+  /// The default trainer tag is "logreg"; hosts that embed this trainer
+  /// set a distinguishing tag.
+  train::CheckpointOptions checkpoint;
 
   /// The decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

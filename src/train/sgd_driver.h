@@ -6,28 +6,43 @@
 //     SerialAccess, which reproduces the historical single-threaded
 //     trainers bit-for-bit (same RNG stream, same float arithmetic);
 //   * N workers   — the step budget is partitioned across the pool in
-//     strides (worker w runs global steps w, w+N, w+2N, …, so each worker
-//     sweeps the full learning-rate decay), every worker draws from its own
-//     ShardedRng stream, and the body runs with HogwildAccess: lock-free
-//     relaxed-atomic updates on the shared parameters, the Hogwild model.
+//     strides (worker w runs steps w, w+N, w+2N, … of each chunk, so each
+//     worker sweeps the full learning-rate decay), every worker draws from
+//     its own ShardedRng stream, and the body runs with HogwildAccess:
+//     lock-free relaxed-atomic updates on the shared parameters, the
+//     Hogwild model.
+//
+// The budget is executed in epoch-sized chunks (steps_per_epoch; 0 = the
+// whole budget is one epoch). Epoch boundaries are where the driver fires
+// the epoch_start/epoch_end hooks, appends the per-epoch ".run_loss"
+// metric, and hands control to the Checkpointer — the only points where
+// all workers are quiesced and the parameter state is consistent, which is
+// what makes checkpoint/resume exact. In the multi-worker path each
+// epoch's worker streams are derived from (shard_seed, epoch), so a
+// resumed run samples the remaining epochs identically to the
+// uninterrupted one.
 //
 // The body is a generic callable
 //     double body(AccessPolicy, const SgdStep&)
 // returning the step's loss contribution (0.0 when untracked); Run returns
-// the sum of all step losses. Per-worker scratch buffers should be sized by
-// num_workers() and indexed by SgdStep::worker.
+// the sum of all executed step losses. Per-worker scratch buffers should be
+// sized by num_workers() and indexed by SgdStep::worker.
 
 #ifndef DEEPDIRECT_TRAIN_SGD_DRIVER_H_
 #define DEEPDIRECT_TRAIN_SGD_DRIVER_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "train/checkpoint.h"
 #include "train/hogwild.h"
 #include "train/lr_schedule.h"
+#include "train/parallel.h"
 #include "train/progress_reporter.h"
 #include "train/sharded_rng.h"
 #include "train/thread_pool.h"
@@ -37,7 +52,7 @@ namespace deepdirect::train {
 
 /// Execution parameters of one driver run.
 struct SgdOptions {
-  /// Steps this run executes.
+  /// Steps this run executes (the full budget; resume skips within it).
   uint64_t steps = 0;
   /// Worker count: 1 = deterministic serial path, 0 = all hardware threads.
   size_t num_threads = 1;
@@ -51,14 +66,31 @@ struct SgdOptions {
   /// Base seed for per-worker RNG streams (multi-worker runs only; the
   /// serial path draws from the trainer's own Rng instead).
   uint64_t shard_seed = 0;
+  /// Steps per epoch chunk; 0 treats the whole budget as one epoch. Epoch
+  /// e covers global steps [e·spe, (e+1)·spe); the final epoch may be
+  /// shorter when the budget is not a multiple.
+  uint64_t steps_per_epoch = 0;
+  /// Global epochs already completed (from Checkpointer::Resume); the
+  /// driver skips all steps below start_epoch·steps_per_epoch without
+  /// consuming any RNG.
+  uint64_t start_epoch = 0;
+  /// Fired before each epoch's steps with the global epoch index (e.g. to
+  /// reshuffle the visit order). Runs on the calling thread.
+  std::function<void(uint64_t)> epoch_start;
+  /// Fired after each epoch's steps, workers quiesced.
+  std::function<void(const EpochEnd&)> epoch_end;
+  /// When set, consulted after every epoch (after epoch_end); writes
+  /// checkpoints per its policy and can stop the run (simulated
+  /// preemption). Not owned.
+  Checkpointer* checkpointer = nullptr;
   /// Optional windowed-loss callback.
   ProgressCallback progress;
   /// Callback cadence in steps.
   uint64_t report_every = 1'000'000;
   /// When non-empty and the obs registry is enabled, each Run records under
-  /// this prefix: counter ".steps", series ".run_loss" (one entry per Run —
-  /// per epoch for epoch-driven trainers), series ".loss" (windowed, via
-  /// the ProgressReporter), gauge ".examples_per_sec", and histogram
+  /// this prefix: counter ".steps" (executed steps), series ".run_loss"
+  /// (one entry per executed epoch), series ".loss" (windowed, via the
+  /// ProgressReporter), gauge ".examples_per_sec", and histogram
   /// ".worker_steps" (one observation per worker). Recording happens off
   /// the step hot path and never draws from any Rng.
   std::string metrics_prefix;
@@ -81,43 +113,100 @@ class SgdDriver {
   /// Resolved worker count (scratch buffers should be sized by this).
   size_t num_workers() const { return workers_; }
 
-  /// Runs the step budget; returns the sum of the body's loss values.
+  /// Runs the step budget; returns the sum of the executed bodies' losses.
   template <typename Body>
   double Run(util::Rng& rng, Body&& body) {
     const uint64_t steps = options_.steps;
-    const uint64_t total = options_.total_steps != 0
-                               ? options_.total_steps
-                               : options_.step_offset + steps;
-    ProgressReporter reporter(options_.progress, options_.report_every,
-                              total, options_.step_offset,
-                              options_.metrics_prefix);
-    if (workers_ == 1) {
-      double loss_sum = 0.0;
-      for (uint64_t i = 0; i < steps; ++i) {
-        const uint64_t step = options_.step_offset + i;
-        const SgdStep ctx{0, step, options_.lr.At(step, total), rng};
-        const double loss = body(SerialAccess{}, ctx);
-        loss_sum += loss;
-        reporter.Record(1, loss);
-      }
-      RecordRunMetrics(reporter, loss_sum);
-      return loss_sum;
+    const uint64_t begin = options_.step_offset;
+    const uint64_t end = begin + steps;
+    const uint64_t total =
+        options_.total_steps != 0 ? options_.total_steps : end;
+    const uint64_t spe =
+        options_.steps_per_epoch != 0 ? options_.steps_per_epoch : steps;
+    // Resume: everything below the restored epoch boundary already ran in
+    // a previous process; skip it without touching the RNG (its stream was
+    // restored from the checkpoint).
+    uint64_t cursor = begin;
+    if (options_.start_epoch > 0 && spe > 0) {
+      cursor = std::min(end, std::max(begin, options_.start_epoch * spe));
     }
+    ProgressReporter reporter(options_.progress, options_.report_every,
+                              total, cursor, options_.metrics_prefix);
+    std::optional<ThreadPool> pool;
+    if (workers_ > 1) pool.emplace(workers_);
 
-    const ShardedRng shards(options_.shard_seed);
+    double loss_sum = 0.0;
+    uint64_t executed = 0;
+    std::vector<uint64_t> worker_steps(workers_, 0);
+    while (cursor < end) {
+      const uint64_t epoch = spe > 0 ? cursor / spe : 0;
+      const uint64_t chunk_end = spe > 0
+                                     ? std::min<uint64_t>(end, (epoch + 1) * spe)
+                                     : end;
+      if (options_.epoch_start) options_.epoch_start(epoch);
+      double epoch_loss = 0.0;
+      if (workers_ == 1) {
+        for (uint64_t step = cursor; step < chunk_end; ++step) {
+          const SgdStep ctx{0, step, options_.lr.At(step, total), rng};
+          const double loss = body(SerialAccess{}, ctx);
+          epoch_loss += loss;
+          reporter.Record(1, loss);
+        }
+        worker_steps[0] += chunk_end - cursor;
+      } else {
+        epoch_loss = RunChunkHogwild(cursor, chunk_end, epoch, total,
+                                     reporter, *pool, worker_steps, body);
+      }
+      loss_sum += epoch_loss;
+      executed += chunk_end - cursor;
+      cursor = chunk_end;
+
+      const EpochEnd boundary{epoch, cursor, epoch_loss, cursor >= end};
+      if (options_.epoch_end) options_.epoch_end(boundary);
+      if (!options_.metrics_prefix.empty() && obs::Enabled()) {
+        obs::Registry::Default().Append(
+            options_.metrics_prefix + ".run_loss", epoch_loss);
+      }
+      if (options_.checkpointer &&
+          options_.checkpointer->AtEpochBoundary(boundary, rng)) {
+        break;
+      }
+    }
+    RecordRunMetrics(reporter, executed, worker_steps);
+    return loss_sum;
+  }
+
+ private:
+  /// One epoch chunk on the Hogwild path. Worker w runs chunk-relative
+  /// steps w, w+N, w+2N, …; each epoch's worker streams are seeded from
+  /// (shard_seed, epoch) so resumed epochs sample identically. A run whose
+  /// whole budget is one epoch keeps the historical seeding (shard_seed
+  /// directly).
+  template <typename Body>
+  double RunChunkHogwild(uint64_t chunk_begin, uint64_t chunk_end,
+                         uint64_t epoch, uint64_t total,
+                         ProgressReporter& reporter, ThreadPool& pool,
+                         std::vector<uint64_t>& worker_steps, Body&& body) {
+    const bool single_chunk = options_.steps_per_epoch == 0 ||
+                              options_.steps_per_epoch >= options_.steps;
+    const ShardedRng shards(single_chunk
+                                ? options_.shard_seed
+                                : PerItemSeed(options_.shard_seed, epoch));
+    const uint64_t chunk_steps = chunk_end - chunk_begin;
     std::vector<double> worker_loss(workers_, 0.0);
-    ThreadPool pool(workers_);
     pool.ParallelFor(workers_, [&](size_t w) {
       util::Rng worker_rng = shards.MakeShard(w);
       double loss_sum = 0.0;
       double window_loss = 0.0;
       uint64_t window_steps = 0;
-      for (uint64_t i = w; i < steps; i += workers_) {
-        const uint64_t step = options_.step_offset + i;
+      uint64_t steps_run = 0;
+      for (uint64_t i = w; i < chunk_steps; i += workers_) {
+        const uint64_t step = chunk_begin + i;
         const SgdStep ctx{w, step, options_.lr.At(step, total), worker_rng};
         const double loss = body(HogwildAccess{}, ctx);
         loss_sum += loss;
         window_loss += loss;
+        ++steps_run;
         if (++window_steps >= kWorkerFlushSteps) {
           reporter.Record(window_steps, window_loss);
           window_steps = 0;
@@ -126,35 +215,29 @@ class SgdDriver {
       }
       if (window_steps > 0) reporter.Record(window_steps, window_loss);
       worker_loss[w] = loss_sum;
+      worker_steps[w] += steps_run;
     });
     // Fixed summation order keeps the reduction independent of thread
     // scheduling (the updates themselves still race, by design).
     double loss_sum = 0.0;
     for (double v : worker_loss) loss_sum += v;
-    RecordRunMetrics(reporter, loss_sum);
     return loss_sum;
   }
 
- private:
   /// Post-run telemetry (see SgdOptions::metrics_prefix). Cold path: runs
   /// once per Run, after every worker has joined.
-  void RecordRunMetrics(const ProgressReporter& reporter, double loss_sum) {
+  void RecordRunMetrics(const ProgressReporter& reporter, uint64_t executed,
+                        const std::vector<uint64_t>& worker_steps) {
     if (options_.metrics_prefix.empty() || !obs::Enabled()) return;
     const std::string& prefix = options_.metrics_prefix;
     obs::Registry& registry = obs::Registry::Default();
-    const uint64_t steps = options_.steps;
-    registry.GetCounter(prefix + ".steps")->Add(steps);
-    registry.Append(prefix + ".run_loss", loss_sum);
+    registry.GetCounter(prefix + ".steps")->Add(executed);
     registry.GetGauge(prefix + ".examples_per_sec")
         ->Set(reporter.StepsPerSec());
-    obs::Histogram* worker_steps =
+    obs::Histogram* steps_hist =
         registry.GetHistogram(prefix + ".worker_steps");
     for (size_t w = 0; w < workers_; ++w) {
-      // Worker w runs global steps w, w+N, w+2N, … — its share of the
-      // strided budget.
-      const uint64_t share =
-          steps > w ? (steps - w + workers_ - 1) / workers_ : 0;
-      worker_steps->Observe(static_cast<double>(share));
+      steps_hist->Observe(static_cast<double>(worker_steps[w]));
     }
   }
 

@@ -8,6 +8,7 @@
 #ifndef DEEPDIRECT_UTIL_RANDOM_H_
 #define DEEPDIRECT_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -109,6 +110,17 @@ class Rng {
   /// (reservoir-free selection sampling; O(n) when k ~ n, rejection when
   /// k << n). Order of the returned indices is unspecified.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Snapshot of the generator state, for checkpointing. Restoring it with
+  /// set_state() continues the stream exactly where the snapshot was taken.
+  std::array<uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Restores a state captured by state().
+  void set_state(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

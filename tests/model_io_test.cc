@@ -103,6 +103,81 @@ TEST(ModelIoTest, MissingFileReportsIOError) {
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kIOError);
 }
 
+TEST(ModelIoTest, PartialWriteSweepNeverLoads) {
+  // Crash-during-save regression: a save interrupted after any byte count
+  // leaves a strict prefix. Every sampled prefix length must be rejected by
+  // Load — cleanly, without crashing or accepting a half-written model.
+  const auto split = MakeSplit();
+  const auto model = DeepDirectModel::Train(split.network, TinyConfig());
+  const std::string path = "/tmp/deepdirect_model_partial.ddm";
+  ASSERT_TRUE(model->Save(path).ok());
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(contents.size(), 0u);
+  // Prime-strided sweep plus the structural boundaries (empty file, lone
+  // magic, header, and one-byte-short).
+  std::vector<size_t> cuts = {0, 4, 20, contents.size() - 1};
+  for (size_t k = 0; k < contents.size(); k += 997) cuts.push_back(k);
+  for (size_t cut : cuts) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(contents.data(), static_cast<std::streamsize>(cut));
+    }
+    auto loaded = DeepDirectModel::Load(path, split.network);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes loaded";
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+        << "prefix of " << cut << ": " << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SaveIsAtomicOverAnExistingModel) {
+  // Overwriting goes through temp+rename: after the save no .tmp remains,
+  // and the destination is the new, fully valid model.
+  const auto split = MakeSplit();
+  const auto model = DeepDirectModel::Train(split.network, TinyConfig());
+  const std::string path = "/tmp/deepdirect_model_atomic.ddm";
+  ASSERT_TRUE(model->Save(path).ok());
+  ASSERT_TRUE(model->Save(path).ok());  // overwrite the existing file
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind";
+  auto loaded = DeepDirectModel::Load(path, split.network);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(model->e_step_weights(), loaded.value()->e_step_weights());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SingleByteCorruptionSweepNeverLoads) {
+  // Bit-rot regression: flip one byte at a prime stride across the whole
+  // file; every flip must be caught by a section or header CRC.
+  const auto split = MakeSplit();
+  const auto model = DeepDirectModel::Train(split.network, TinyConfig());
+  const std::string path = "/tmp/deepdirect_model_flip.ddm";
+  ASSERT_TRUE(model->Save(path).ok());
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  for (size_t k = 0; k < contents.size(); k += 131) {
+    std::string corrupted = contents;
+    corrupted[k] = static_cast<char>(corrupted[k] ^ 0x5A);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupted.data(),
+                static_cast<std::streamsize>(corrupted.size()));
+    }
+    auto loaded = DeepDirectModel::Load(path, split.network);
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << k << " loaded";
+  }
+  std::remove(path.c_str());
+}
+
 TEST(ModelIoTest, MlpHeadIsNotSerializable) {
   const auto split = MakeSplit();
   auto config = TinyConfig();

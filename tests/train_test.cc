@@ -1,14 +1,25 @@
 // Tests for the unified SGD training engine (src/train/): learning-rate
 // schedules, sharded RNG streams, the thread pool, the progress reporter,
-// and the SgdDriver's serial-determinism and multi-worker coverage
-// guarantees.
+// the SgdDriver's serial-determinism and multi-worker coverage guarantees,
+// and the interrupt/resume goldens for all four production trainers.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <vector>
 
+#include "core/applications.h"
+#include "core/deepdirect.h"
+#include "data/generators.h"
+#include "embedding/line.h"
+#include "embedding/random_walks.h"
+#include "embedding/skipgram.h"
+#include "graph/algorithms.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+#include "train/checkpoint.h"
 #include "train/hogwild.h"
 #include "train/lr_schedule.h"
 #include "train/progress_reporter.h"
@@ -344,6 +355,244 @@ TEST(HogwildAccessTest, PoliciesAgreeOnRowHelpers) {
   AddScaled<SerialAccess>(y1, 0.3, b);
   AddScaled<HogwildAccess>(y2, 0.3, b);
   for (size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+// ------------------------------------------ Resume determinism goldens
+//
+// The checkpoint/resume contract, proven on every production trainer: an
+// interrupted run (simulated preemption after k epochs) that is then
+// resumed in a fresh process must finish bit-identical to the
+// uninterrupted run at num_threads = 1, and must recover the same learned
+// structure at num_threads = 4 (Hogwild interleavings are not
+// bit-reproducible, so the multi-threaded contract is over eval metrics).
+
+// Scratch checkpoint directory, wiped before and after each use.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+data::GeneratorConfig SmallNetConfig() {
+  data::GeneratorConfig config;
+  config.num_nodes = 80;
+  config.ties_per_node = 3.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ResumeGoldenTest, SkipGramResumeIsBitIdentical) {
+  const auto net = data::GenerateStatusNetwork(SmallNetConfig());
+  embedding::WalkConfig walk_config;
+  walk_config.walks_per_node = 5;
+  walk_config.walk_length = 10;
+  const auto corpus = embedding::GenerateWalks(net, walk_config);
+
+  embedding::SkipGramConfig config;
+  config.dimensions = 8;
+  config.epochs = 10;
+  const auto straight =
+      embedding::TrainSkipGram(corpus, net.num_nodes(), config);
+
+  ScratchDir dir("resume_golden_skipgram");
+  config.checkpoint.dir = dir.path();
+  config.checkpoint.stop_after_epochs = 4;
+  embedding::TrainSkipGram(corpus, net.num_nodes(), config);  // interrupted
+
+  config.checkpoint.stop_after_epochs = 0;
+  config.checkpoint.resume = true;
+  const auto resumed =
+      embedding::TrainSkipGram(corpus, net.num_nodes(), config);
+  EXPECT_EQ(resumed.data(), straight.data());
+}
+
+TEST(ResumeGoldenTest, LineResumeIsBitIdentical) {
+  const auto net = data::GenerateStatusNetwork(SmallNetConfig());
+  embedding::LineConfig config;
+  config.dimensions = 8;
+  config.samples_per_arc = 10;  // 10 epochs of num_arcs steps
+  const auto straight = embedding::LineEmbedding::Train(net, config);
+
+  ScratchDir dir("resume_golden_line");
+  config.checkpoint.dir = dir.path();
+  config.checkpoint.stop_after_epochs = 4;
+  embedding::LineEmbedding::Train(net, config);  // interrupted
+
+  config.checkpoint.stop_after_epochs = 0;
+  config.checkpoint.resume = true;
+  const auto resumed = embedding::LineEmbedding::Train(net, config);
+  for (graph::NodeId u = 0; u < net.num_nodes(); ++u) {
+    const auto sf = straight.FirstOrder(u);
+    const auto rf = resumed.FirstOrder(u);
+    const auto ss = straight.SecondOrder(u);
+    const auto rs = resumed.SecondOrder(u);
+    for (size_t k = 0; k < sf.size(); ++k) {
+      ASSERT_EQ(rf[k], sf[k]) << "node " << u << " first[" << k << "]";
+      ASSERT_EQ(rs[k], ss[k]) << "node " << u << " second[" << k << "]";
+    }
+  }
+}
+
+ml::Dataset SeparableDataset() {
+  ml::Dataset data(2);
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double x0 = rng.NextDoubleIn(-1, 1);
+    const double x1 = rng.NextDoubleIn(-1, 1);
+    data.Add(std::vector<double>{x0, x1}, x0 > x1 ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+TEST(ResumeGoldenTest, LogisticRegressionResumeIsBitIdentical) {
+  // The D-Step trainer. The epoch shuffle permutes the visit order
+  // cumulatively, so this golden also proves the order is checkpointed.
+  const auto data = SeparableDataset();
+  ml::LogisticRegressionConfig config;
+  config.epochs = 10;
+  ml::LogisticRegression straight(2);
+  const double straight_loss = straight.Train(data, config);
+
+  ScratchDir dir("resume_golden_logreg");
+  config.checkpoint.dir = dir.path();
+  config.checkpoint.stop_after_epochs = 4;
+  ml::LogisticRegression interrupted(2);
+  interrupted.Train(data, config);
+
+  config.checkpoint.stop_after_epochs = 0;
+  config.checkpoint.resume = true;
+  ml::LogisticRegression resumed(2);
+  const double resumed_loss = resumed.Train(data, config);
+  EXPECT_EQ(resumed.weights(), straight.weights());
+  EXPECT_EQ(resumed.bias(), straight.bias());
+  EXPECT_EQ(resumed_loss, straight_loss);
+}
+
+graph::HiddenDirectionSplit SmallSplit() {
+  const auto net = data::GenerateStatusNetwork(SmallNetConfig());
+  util::Rng rng(12);
+  return graph::HideDirections(net, 0.4, rng);
+}
+
+core::DeepDirectConfig SmallDeepDirectConfig() {
+  core::DeepDirectConfig config;
+  config.dimensions = 8;
+  config.epochs = 4.0;
+  config.d_step.epochs = 10;
+  return config;
+}
+
+void ExpectModelsBitIdentical(const core::DeepDirectModel& a,
+                              const core::DeepDirectModel& b) {
+  EXPECT_EQ(a.embeddings().data(), b.embeddings().data());
+  EXPECT_EQ(a.e_step_weights(), b.e_step_weights());
+  EXPECT_EQ(a.e_step_bias(), b.e_step_bias());
+  EXPECT_EQ(a.d_step_regression().weights(), b.d_step_regression().weights());
+  EXPECT_EQ(a.d_step_regression().bias(), b.d_step_regression().bias());
+}
+
+TEST(ResumeGoldenTest, DeepDirectEStepResumeIsBitIdentical) {
+  // Preemption mid-E-Step: the partial model must skip the D-Step (the
+  // interrupted process never reached it), and the resumed run must finish
+  // bit-identical to the uninterrupted one, D-Step included.
+  const auto split = SmallSplit();
+  const auto straight =
+      core::DeepDirectModel::Train(split.network, SmallDeepDirectConfig());
+
+  ScratchDir dir("resume_golden_estep");
+  auto config = SmallDeepDirectConfig();
+  config.checkpoint.dir = dir.path();
+  config.checkpoint.stop_after_epochs = 2;
+  const auto partial = core::DeepDirectModel::Train(split.network, config);
+  // The D-Step never ran: its weights are still the zero init.
+  for (double w : partial->d_step_regression().weights()) {
+    EXPECT_EQ(w, 0.0);
+  }
+
+  config.checkpoint.stop_after_epochs = 0;
+  config.checkpoint.resume = true;
+  const auto resumed = core::DeepDirectModel::Train(split.network, config);
+  ExpectModelsBitIdentical(*resumed, *straight);
+}
+
+TEST(ResumeGoldenTest, DeepDirectDStepResumeIsBitIdentical) {
+  // Preemption mid-D-Step: the resume process replays the E-Step tail from
+  // its newest checkpoint (boundaries after the last write re-run on the
+  // restored RNG stream), then resumes the D-Step from its own checkpoint.
+  const auto split = SmallSplit();
+  const auto straight =
+      core::DeepDirectModel::Train(split.network, SmallDeepDirectConfig());
+
+  ScratchDir dir("resume_golden_dstep");
+  auto config = SmallDeepDirectConfig();
+  config.checkpoint.dir = dir.path();
+  config.d_step.checkpoint.dir = dir.path();
+  config.d_step.checkpoint.stop_after_epochs = 4;
+  core::DeepDirectModel::Train(split.network, config);  // interrupted
+
+  config.d_step.checkpoint.stop_after_epochs = 0;
+  config.checkpoint.resume = true;
+  config.d_step.checkpoint.resume = true;
+  const auto resumed = core::DeepDirectModel::Train(split.network, config);
+  ExpectModelsBitIdentical(*resumed, *straight);
+}
+
+TEST(ResumeGoldenTest, LogisticRegressionResumeMultiThreadedLearns) {
+  // Hogwild resume is not bit-reproducible; the contract is that the
+  // resumed run trains to the same quality as an uninterrupted one.
+  const auto data = SeparableDataset();
+  ml::LogisticRegressionConfig config;
+  config.epochs = 50;
+  config.num_threads = 4;
+
+  ScratchDir dir("resume_golden_logreg_mt");
+  config.checkpoint.dir = dir.path();
+  config.checkpoint.stop_after_epochs = 20;
+  ml::LogisticRegression interrupted(2);
+  interrupted.Train(data, config);
+
+  config.checkpoint.stop_after_epochs = 0;
+  config.checkpoint.resume = true;
+  ml::LogisticRegression resumed(2);
+  resumed.Train(data, config);
+
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double p = resumed.Predict(data.Row(i));
+    correct += (p >= 0.5) == (data.Label(i) == 1.0);
+  }
+  EXPECT_GT(correct, static_cast<int>(data.size()) * 9 / 10);
+  EXPECT_GT(resumed.weights()[0], 0.0);
+  EXPECT_LT(resumed.weights()[1], 0.0);
+}
+
+TEST(ResumeGoldenTest, DeepDirectResumeMultiThreadedStaysAccurate) {
+  const auto split = SmallSplit();
+  auto config = SmallDeepDirectConfig();
+  config.epochs = 6.0;
+  config.num_threads = 4;
+  config.d_step.num_threads = 4;
+
+  ScratchDir dir("resume_golden_deepdirect_mt");
+  config.checkpoint.dir = dir.path();
+  config.checkpoint.stop_after_epochs = 3;
+  core::DeepDirectModel::Train(split.network, config);  // interrupted
+
+  config.checkpoint.stop_after_epochs = 0;
+  config.checkpoint.resume = true;
+  const auto resumed = core::DeepDirectModel::Train(split.network, config);
+  for (float v : resumed->embeddings().data()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(core::DirectionDiscoveryAccuracy(split, *resumed), 0.55);
 }
 
 }  // namespace
