@@ -59,7 +59,7 @@ double MlpHeadAccuracy(const graph::HiddenDirectionSplit& split,
 }  // namespace
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("ablations");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<data::DatasetId> datasets =
@@ -87,6 +87,10 @@ int main() {
                     util::TablePrinter::FormatDouble(accuracy, 4)});
       csv.WriteRow({data::DatasetName(id), ablation, variant,
                     util::TablePrinter::FormatDouble(accuracy, 4)});
+      session.Add("accuracy", "fraction", "higher", accuracy,
+                  {{"dataset", data::DatasetName(id)},
+                   {"ablation", ablation},
+                   {"variant", variant}});
     };
 
     // (1) tie-degree weighting on/off.
@@ -148,5 +152,5 @@ int main() {
     table.Print();
     std::printf("\n");
   }
-  return 0;
+  return session.Finish(0);
 }

@@ -1,22 +1,33 @@
 // Shared helpers for the figure-reproduction benches.
 //
-// Every bench prints the rows/series its paper figure reports and mirrors
-// them into CSV files under bench_results/. Environment overrides:
+// Every bench prints the rows/series its paper figure reports, mirrors
+// them into CSV files under the result directory, and (via BenchSession)
+// writes one structured BENCH_<name>.json report for perf tracking.
+// Environment overrides:
 //   DD_BENCH_SCALE    — multiplies dataset node counts (default 1.0)
 //   DD_BENCH_FAST     — "1" shrinks sweeps for smoke runs
 //   DD_BENCH_THREADS  — SGD workers per trainer (default 1; 0 = all cores)
+//   DD_BENCH_OUTDIR   — result directory (default bench_results/); CSVs
+//                       and BENCH_*.json land here
 //   DD_BENCH_METRICS  — path to write a training-telemetry snapshot when
 //                       the bench exits (.csv = CSV, else JSON)
+//   DD_BENCH_TRACE    — path to write a Chrome trace_event timeline of the
+//                       phase/epoch spans recorded during the bench
 
 #ifndef DEEPDIRECT_BENCH_BENCH_COMMON_H_
 #define DEEPDIRECT_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <utility>
 
+#include "bench_report.h"
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 #include "util/csv_writer.h"
+#include "util/timer.h"
 
 namespace deepdirect::bench {
 
@@ -42,45 +53,120 @@ inline size_t BenchThreads() {
   return static_cast<size_t>(std::strtoull(env, nullptr, 10));
 }
 
-/// Scoped DD_BENCH_METRICS hook: declared first in a bench's main(), it
-/// switches the obs registry on when the env var names a path and writes
-/// the merged snapshot there when the bench finishes.
-class BenchMetricsGuard {
+/// Result directory for CSVs and BENCH_*.json: DD_BENCH_OUTDIR override,
+/// bench_results/ by default.
+inline std::string ResultDir() {
+  const char* env = std::getenv("DD_BENCH_OUTDIR");
+  return (env != nullptr && *env != '\0') ? env : "bench_results";
+}
+
+/// Opens <ResultDir()>/<name>.csv (creating the directory, nested paths
+/// included).
+inline util::CsvWriter OpenResultCsv(const std::string& name) {
+  const std::string dir = ResultDir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+  }
+  return util::CsvWriter(dir + "/" + name + ".csv");
+}
+
+/// Per-bench session: declared first in main(), finished last.
+///
+///   int main() {
+///     deepdirect::bench::BenchSession session("fig9_scalability");
+///     ...
+///     session.Add("train_seconds", "seconds", "lower", secs, {...});
+///     return session.Finish(0);
+///   }
+///
+/// The constructor switches on the obs registry / trace buffer when
+/// DD_BENCH_METRICS / DD_BENCH_TRACE request output. Finish() appends the
+/// bench's total wall time to the report, writes BENCH_<name>.json into
+/// ResultDir(), then the requested metrics snapshot and Chrome trace.
+/// It returns `rc` unchanged when every output was written — and 1 when
+/// any write failed, so CI cannot mistake a run with lost telemetry for a
+/// healthy one.
+class BenchSession {
  public:
-  BenchMetricsGuard() : path_(std::getenv("DD_BENCH_METRICS")) {
-    if (path_ != nullptr) obs::Registry::Default().set_enabled(true);
+  explicit BenchSession(std::string name)
+      : report_(std::move(name)),
+        metrics_path_(std::getenv("DD_BENCH_METRICS")),
+        trace_path_(std::getenv("DD_BENCH_TRACE")) {
+    if (metrics_path_ != nullptr) obs::Registry::Default().set_enabled(true);
+    if (trace_path_ != nullptr) obs::TraceBuffer::Default().set_enabled(true);
+    timer_.Reset();
   }
 
-  ~BenchMetricsGuard() {
-    if (path_ == nullptr) return;
-    const std::string path(path_);
-    const auto snapshot = obs::Registry::Default().Snapshot();
-    const bool csv = path.size() >= 4 &&
-                     path.compare(path.size() - 4, 4, ".csv") == 0;
-    const auto status =
-        csv ? snapshot.WriteCsv(path) : snapshot.WriteJson(path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  /// The structured report this bench accumulates into.
+  BenchReport& report() { return report_; }
+
+  /// Shorthand for report().Add(...).
+  void Add(std::string name, std::string unit, std::string better,
+           double value, std::map<std::string, std::string> labels = {}) {
+    report_.Add(std::move(name), std::move(unit), std::move(better), value,
+                std::move(labels));
+  }
+
+  /// Writes every requested output; see the class comment. Call exactly
+  /// once, as the bench's `return session.Finish(0);`.
+  int Finish(int rc) {
+    Add("total_wall_seconds", "seconds", "lower", timer_.ElapsedSeconds());
+
+    const std::string dir = ResultDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string report_path =
+        dir + "/BENCH_" + report_.bench_name() + ".json";
+    const auto report_status = report_.WriteJson(report_path);
+    if (!report_status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report_status.ToString().c_str());
+      rc = rc != 0 ? rc : 1;
     } else {
-      std::fprintf(stderr, "wrote metrics snapshot to %s\n", path.c_str());
+      std::fprintf(stderr, "wrote bench report to %s\n",
+                   report_path.c_str());
     }
+
+    if (metrics_path_ != nullptr) {
+      const std::string path(metrics_path_);
+      const auto snapshot = obs::Registry::Default().Snapshot();
+      const bool csv = path.size() >= 4 &&
+                       path.compare(path.size() - 4, 4, ".csv") == 0;
+      const auto status =
+          csv ? snapshot.WriteCsv(path) : snapshot.WriteJson(path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        rc = rc != 0 ? rc : 1;
+      } else {
+        std::fprintf(stderr, "wrote metrics snapshot to %s\n", path.c_str());
+      }
+    }
+
+    if (trace_path_ != nullptr) {
+      const auto status =
+          obs::TraceBuffer::Default().WriteChromeTrace(trace_path_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        rc = rc != 0 ? rc : 1;
+      } else {
+        std::fprintf(stderr, "wrote trace timeline to %s\n", trace_path_);
+      }
+    }
+    return rc;
   }
 
-  BenchMetricsGuard(const BenchMetricsGuard&) = delete;
-  BenchMetricsGuard& operator=(const BenchMetricsGuard&) = delete;
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
 
  private:
-  const char* path_;
+  BenchReport report_;
+  const char* metrics_path_;
+  const char* trace_path_;
+  util::Timer timer_;
 };
-
-/// Opens bench_results/<name>.csv (creating the directory).
-inline util::CsvWriter OpenResultCsv(const std::string& name) {
-  const auto status = util::EnsureDirectory("bench_results");
-  if (!status.ok()) {
-    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
-  }
-  return util::CsvWriter("bench_results/" + name + ".csv");
-}
 
 }  // namespace deepdirect::bench
 

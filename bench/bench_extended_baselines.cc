@@ -21,7 +21,7 @@
 #include "util/timer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("extended_baselines");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<data::DatasetId> datasets =
@@ -46,6 +46,10 @@ int main() {
       csv.WriteRow({data::DatasetName(id), name,
                     util::TablePrinter::FormatDouble(accuracy, 4),
                     util::TablePrinter::FormatDouble(seconds, 2)});
+      session.Add("accuracy", "fraction", "higher", accuracy,
+                  {{"dataset", data::DatasetName(id)}, {"method", name}});
+      session.Add("train_seconds", "seconds", "lower", seconds,
+                  {{"dataset", data::DatasetName(id)}, {"method", name}});
     };
 
     const auto configs = core::MethodConfigs::FastDefaults();
@@ -127,5 +131,5 @@ int main() {
     table.Print();
     std::printf("\n");
   }
-  return 0;
+  return session.Finish(0);
 }

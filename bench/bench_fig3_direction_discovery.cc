@@ -17,7 +17,7 @@
 #include "util/timer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("fig3_direction_discovery");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<double> fractions =
@@ -50,6 +50,11 @@ int main() {
         const double accuracy =
             core::DirectionDiscoveryAccuracy(split, *model);
         accuracies.push_back(accuracy);
+        session.Add("accuracy", "fraction", "higher", accuracy,
+                    {{"dataset", data::DatasetName(id)},
+                     {"directed_fraction",
+                      util::TablePrinter::FormatDouble(fraction, 2)},
+                     {"method", core::MethodName(method)}});
         csv.WriteRow({data::DatasetName(id),
                       util::TablePrinter::FormatDouble(fraction, 2),
                       core::MethodName(method),
@@ -62,5 +67,5 @@ int main() {
     std::printf("\n");
   }
   std::printf("total wall time: %.1fs\n", total_timer.ElapsedSeconds());
-  return 0;
+  return session.Finish(0);
 }

@@ -16,7 +16,7 @@
 #include "util/table_printer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("fig4_label_effect");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<double> alphas{0.0, 0.1, 1.0, 5.0};
@@ -51,6 +51,11 @@ int main() {
         const double accuracy =
             core::DirectionDiscoveryAccuracy(split, *model);
         row.push_back(accuracy);
+        session.Add("accuracy", "fraction", "higher", accuracy,
+                    {{"dataset", data::DatasetName(id)},
+                     {"directed_fraction",
+                      util::TablePrinter::FormatDouble(fraction, 2)},
+                     {"alpha", util::TablePrinter::FormatDouble(alpha, 1)}});
         csv.WriteRow({data::DatasetName(id),
                       util::TablePrinter::FormatDouble(fraction, 2),
                       util::TablePrinter::FormatDouble(alpha, 1),
@@ -61,5 +66,5 @@ int main() {
     table.Print();
     std::printf("\n");
   }
-  return 0;
+  return session.Finish(0);
 }

@@ -17,7 +17,7 @@
 #include "util/table_printer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("fig5_pattern_effect");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<std::pair<double, double>> groups{
@@ -55,6 +55,12 @@ int main() {
         const double accuracy =
             core::DirectionDiscoveryAccuracy(split, *model);
         row.push_back(accuracy);
+        session.Add("accuracy", "fraction", "higher", accuracy,
+                    {{"dataset", data::DatasetName(id)},
+                     {"directed_fraction",
+                      util::TablePrinter::FormatDouble(fraction, 2)},
+                     {"alpha", util::TablePrinter::FormatDouble(alpha, 1)},
+                     {"beta", util::TablePrinter::FormatDouble(beta, 1)}});
         csv.WriteRow({data::DatasetName(id),
                       util::TablePrinter::FormatDouble(fraction, 2),
                       util::TablePrinter::FormatDouble(alpha, 1),
@@ -66,5 +72,5 @@ int main() {
     table.Print();
     std::printf("\n");
   }
-  return 0;
+  return session.Finish(0);
 }

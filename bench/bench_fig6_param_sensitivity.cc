@@ -16,7 +16,7 @@
 #include "util/timer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("fig6_param_sensitivity");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   const std::vector<size_t> dims = bench::BenchFast()
@@ -49,6 +49,14 @@ int main() {
         const double accuracy =
             core::DirectionDiscoveryAccuracy(split, *model);
         row.push_back(accuracy);
+        session.Add("accuracy", "fraction", "higher", accuracy,
+                    {{"dataset", data::DatasetName(id)},
+                     {"parameter", "l"},
+                     {"value", std::to_string(l)}});
+        session.Add("train_seconds", "seconds", "lower", seconds,
+                    {{"dataset", data::DatasetName(id)},
+                     {"parameter", "l"},
+                     {"value", std::to_string(l)}});
         csv.WriteRow({data::DatasetName(id), "l", std::to_string(l),
                       util::TablePrinter::FormatDouble(accuracy, 4),
                       util::TablePrinter::FormatDouble(seconds, 2)});
@@ -80,6 +88,14 @@ int main() {
         const double accuracy =
             core::DirectionDiscoveryAccuracy(split, *model);
         row.push_back(accuracy);
+        session.Add("accuracy", "fraction", "higher", accuracy,
+                    {{"dataset", data::DatasetName(id)},
+                     {"parameter", "lambda"},
+                     {"value", std::to_string(lam)}});
+        session.Add("train_seconds", "seconds", "lower", seconds,
+                    {{"dataset", data::DatasetName(id)},
+                     {"parameter", "lambda"},
+                     {"value", std::to_string(lam)}});
         csv.WriteRow({data::DatasetName(id), "lambda", std::to_string(lam),
                       util::TablePrinter::FormatDouble(accuracy, 4),
                       util::TablePrinter::FormatDouble(seconds, 2)});
@@ -88,5 +104,5 @@ int main() {
     }
     table.Print();
   }
-  return 0;
+  return session.Finish(0);
 }

@@ -55,7 +55,7 @@ Scores ProjectAndScore(const ml::Matrix& vectors,
 }  // namespace
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("fig7_visualization");
   using namespace deepdirect;
   std::printf("=== Fig. 7: visualization of embedding results ===\n\n");
 
@@ -128,8 +128,21 @@ int main() {
       "\nseparability by true direction (2D after t-SNE; high-dim before "
       "projection):\n");
   table.Print();
+  const auto add_scores = [&session](const std::string& embedding,
+                                     const Scores& scores) {
+    session.Add("knn_2d", "fraction", "higher", scores.knn,
+                {{"embedding", embedding}});
+    session.Add("centroid_2d", "fraction", "higher", scores.centroid,
+                {{"embedding", embedding}});
+    session.Add("knn_highdim", "fraction", "higher", scores.knn_highdim,
+                {{"embedding", embedding}});
+    session.Add("centroid_highdim", "fraction", "higher",
+                scores.centroid_highdim, {{"embedding", embedding}});
+  };
+  add_scores("DeepDirect", deep_scores);
+  add_scores("LINE", line_scores);
   std::printf(
       "\npoint clouds written to bench_results/fig7_*_points.csv "
       "(columns: label,x,y)\n");
-  return 0;
+  return session.Finish(0);
 }

@@ -16,7 +16,7 @@
 #include "util/table_printer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("fig8_link_prediction");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   auto configs = core::MethodConfigs::FastDefaults();
@@ -51,6 +51,9 @@ int main() {
     const auto original =
         core::RunLinkPrediction(net, holdout, nullptr, link_config);
     cells[0][d] = original.auc;
+    session.Add("auc", "fraction", "higher", original.auc,
+                {{"dataset", data::DatasetName(datasets[d])},
+                 {"adjacency", "Original"}});
     csv.WriteRow({data::DatasetName(datasets[d]), "Original",
                   util::TablePrinter::FormatDouble(original.auc, 4),
                   std::to_string(original.num_candidates),
@@ -62,6 +65,9 @@ int main() {
       const auto result =
           core::RunLinkPrediction(net, holdout, model.get(), link_config);
       cells[row][d] = result.auc;
+      session.Add("auc", "fraction", "higher", result.auc,
+                  {{"dataset", data::DatasetName(datasets[d])},
+                   {"adjacency", core::MethodName(method)}});
       csv.WriteRow({data::DatasetName(datasets[d]), core::MethodName(method),
                     util::TablePrinter::FormatDouble(result.auc, 4),
                     std::to_string(result.num_candidates),
@@ -77,5 +83,5 @@ int main() {
     ++row;
   }
   table.Print();
-  return 0;
+  return session.Finish(0);
 }

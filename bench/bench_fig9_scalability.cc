@@ -20,7 +20,7 @@
 #include "util/timer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("fig9_scalability");
   using namespace deepdirect;
   std::printf("=== Fig. 9: scalability of DeepDirect ===\n\n");
 
@@ -51,6 +51,11 @@ int main() {
     const auto model = core::DeepDirectModel::Train(split.network, config);
     const double seconds = timer.ElapsedSeconds();
     (void)model;
+    session.Add("train_seconds", "seconds", "lower", seconds,
+                {{"ties", std::to_string(net.num_ties())}});
+    session.Add("seconds_per_megapair", "seconds", "lower",
+                seconds / mega_pairs,
+                {{"ties", std::to_string(net.num_ties())}});
     table.AddRow({std::to_string(net.num_nodes()),
                   std::to_string(net.num_ties()),
                   std::to_string(index.NumConnectedTiePairs()),
@@ -67,5 +72,5 @@ int main() {
       "\nSec. 4.6 predicts runtime = O(τ·|C(G)|) = O(|E|) on constant-"
       "density networks:\nseconds-per-megapair should stay flat while "
       "nodes and ties grow.\n");
-  return 0;
+  return session.Finish(0);
 }

@@ -15,7 +15,7 @@
 #include "util/table_printer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("grid_search");
   using namespace deepdirect;
   std::printf("=== Grid search with cross-validation (Sec. 6.1) ===\n\n");
 
@@ -39,6 +39,10 @@ int main() {
   auto csv = bench::OpenResultCsv("grid_search");
   csv.WriteRow({"alpha", "beta", "validation_accuracy"});
   for (const auto& cell : result.cells) {
+    session.Add("validation_accuracy", "fraction", "higher",
+                cell.validation_accuracy,
+                {{"alpha", util::TablePrinter::FormatDouble(cell.alpha, 1)},
+                 {"beta", util::TablePrinter::FormatDouble(cell.beta, 1)}});
     table.AddRow({util::TablePrinter::FormatDouble(cell.alpha, 1),
                   util::TablePrinter::FormatDouble(cell.beta, 1),
                   util::TablePrinter::FormatDouble(
@@ -55,11 +59,17 @@ int main() {
   best_config.beta = result.best.beta;
   const auto model =
       core::DeepDirectModel::Train(test_split.network, best_config);
+  const double test_accuracy =
+      core::DirectionDiscoveryAccuracy(test_split, *model);
+  session.Add("test_accuracy", "fraction", "higher", test_accuracy,
+              {{"alpha", util::TablePrinter::FormatDouble(
+                             result.best.alpha, 1)},
+               {"beta", util::TablePrinter::FormatDouble(
+                            result.best.beta, 1)}});
   std::printf(
       "\nselected alpha=%.1f beta=%.1f (validation %.4f); test accuracy on "
       "held-out directions: %.4f\n",
       result.best.alpha, result.best.beta,
-      result.best.validation_accuracy,
-      core::DirectionDiscoveryAccuracy(test_split, *model));
-  return 0;
+      result.best.validation_accuracy, test_accuracy);
+  return session.Finish(0);
 }

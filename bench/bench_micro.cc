@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/deepdirect.h"
@@ -23,6 +25,10 @@
 namespace {
 
 using namespace deepdirect;
+
+// Session owned by main(); BM bodies add structured measurements through
+// it (null only if a BM were invoked outside main, which cannot happen).
+bench::BenchSession* g_session = nullptr;
 
 const graph::MixedSocialNetwork& BenchNetwork() {
   static const graph::MixedSocialNetwork* net = [] {
@@ -177,15 +183,23 @@ void BM_DeepDirectEStepThreads(benchmark::State& state) {
     ThreadsThroughputCsv().WriteRow(
         {std::to_string(state.range(0)),
          std::to_string(total_steps / elapsed)});
+    if (g_session != nullptr) {
+      g_session->Add("estep_steps_per_sec", "steps/sec", "higher",
+                     total_steps / elapsed,
+                     {{"threads", std::to_string(state.range(0))}});
+    }
   }
 }
 BENCHMARK(BM_DeepDirectEStepThreads)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      // Fast mode trims the worker sweep; full mode measures the scaling
+      // curve even past the host's core count.
+      for (int threads : bench::BenchFast() ? std::vector<int>{1, 2}
+                                            : std::vector<int>{1, 2, 4, 8}) {
+        b->Arg(threads);
+      }
+      b->Iterations(1)->Unit(benchmark::kMillisecond);
+    });
 
 // Shared CSV for the preprocessing worker-scaling rows.
 util::CsvWriter& PreprocessThreadsCsv() {
@@ -259,14 +273,20 @@ void BM_PreprocessThreads(benchmark::State& state) {
   PreprocessThreadsCsv().WriteRow({std::to_string(state.range(0)),
                                    std::to_string(elapsed),
                                    std::to_string(speedup)});
+  if (g_session != nullptr) {
+    g_session->Add("preprocess_seconds", "seconds", "lower", elapsed,
+                   {{"threads", std::to_string(state.range(0))}});
+  }
 }
 BENCHMARK(BM_PreprocessThreads)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Iterations(20)
-    ->Unit(benchmark::kMillisecond);
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (int threads : bench::BenchFast() ? std::vector<int>{1, 2}
+                                            : std::vector<int>{1, 2, 4, 8}) {
+        b->Arg(threads);
+      }
+      b->Iterations(bench::BenchFast() ? 2 : 20)
+          ->Unit(benchmark::kMillisecond);
+    });
 
 void BM_LineEmbeddingEpoch(benchmark::State& state) {
   const auto& net = BenchNetwork();
@@ -337,23 +357,52 @@ void BM_CheckpointOverhead(benchmark::State& state) {
   CheckpointOverheadCsv().WriteRow(
       {std::to_string(every), std::to_string(seconds),
        std::to_string(checkpoint_bytes), std::to_string(overhead)});
+  if (g_session != nullptr) {
+    g_session->Add("checkpoint_run_seconds", "seconds", "lower", seconds,
+                   {{"checkpoint_every_epochs", std::to_string(every)}});
+    g_session->Add("checkpoint_bytes", "bytes", "none",
+                   static_cast<double>(checkpoint_bytes),
+                   {{"checkpoint_every_epochs", std::to_string(every)}});
+  }
 }
 BENCHMARK(BM_CheckpointOverhead)
-    ->Arg(0)
-    ->Arg(4)
-    ->Arg(2)
-    ->Arg(1)
-    ->Iterations(3)
-    ->Unit(benchmark::kMillisecond);
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      // Cadence 0 (off) must stay first: it anchors the overhead ratio.
+      for (int every : bench::BenchFast() ? std::vector<int>{0, 1}
+                                          : std::vector<int>{0, 4, 2, 1}) {
+        b->Arg(every);
+      }
+      b->Iterations(bench::BenchFast() ? 1 : 3)
+          ->Unit(benchmark::kMillisecond);
+    });
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN so the DD_BENCH_METRICS guard brackets the run.
+// Expanded BENCHMARK_MAIN so the session brackets the run (DD_BENCH_*
+// outputs + the BENCH_micro.json report).
 int main(int argc, char** argv) {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  deepdirect::bench::BenchSession session("micro");
+  g_session = &session;
+  // Fast mode also caps google benchmark's auto-tuned repetition budget so
+  // the convergence-timed BMs finish in smoke time; an explicit
+  // --benchmark_min_time on the command line still wins.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.05";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (deepdirect::bench::BenchFast() && !has_min_time) {
+    args.push_back(min_time.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return session.Finish(1);
+  }
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return 0;
+  return session.Finish(0);
 }

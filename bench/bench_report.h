@@ -1,0 +1,94 @@
+// Structured bench reporting: one machine-readable JSON snapshot per bench
+// run, so perf can be tracked as a trajectory across commits instead of
+// eyeballed from stdout tables.
+//
+// Each bench builds a BenchReport and writes BENCH_<name>.json:
+//   {
+//     "schema": "deepdirect-bench-report", "schema_version": 1,
+//     "bench": "<name>",
+//     "environment": {git_sha, build_type, compiler, hardware_threads,
+//                     bench_scale, bench_fast, bench_threads},
+//     "measurements": [
+//       {"name": ..., "unit": ..., "better": "lower|higher|none",
+//        "value": ..., "labels": {...}}, ...
+//     ]
+//   }
+// The environment block pins down what produced the numbers (git sha and
+// compiler are baked in at build time); `better` gives downstream tooling
+// (scripts/bench_compare.py) the regression direction per metric, and
+// `labels` distinguishes repeats of one metric (per dataset, per thread
+// count, ...). Measurements appear in insertion order.
+
+#ifndef DEEPDIRECT_BENCH_BENCH_REPORT_H_
+#define DEEPDIRECT_BENCH_BENCH_REPORT_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepdirect::bench {
+
+/// One metric sample inside a report.
+struct Measurement {
+  std::string name;
+  std::string unit;    ///< "seconds", "examples_per_sec", "fraction", ...
+  std::string better;  ///< regression direction: "lower", "higher", "none"
+  double value = 0.0;
+  /// Distinguishes repeats of one metric (dataset, thread count, ...).
+  std::map<std::string, std::string> labels;
+};
+
+/// Build/host facts recorded alongside the measurements.
+struct BenchEnvironment {
+  std::string git_sha;     ///< short sha at configure time ("unknown" outside git)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string compiler;    ///< compiler id + version
+  unsigned hardware_threads = 0;
+  double bench_scale = 1.0;  ///< DD_BENCH_SCALE
+  bool bench_fast = false;   ///< DD_BENCH_FAST
+  size_t bench_threads = 1;  ///< DD_BENCH_THREADS
+
+  /// Baked-in build facts + the DD_BENCH_* environment at call time.
+  static BenchEnvironment Collect();
+};
+
+/// Accumulates measurements for one bench run; see the file comment.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_(std::move(bench_name)), env_(BenchEnvironment::Collect()) {}
+
+  /// Appends one measurement (kept in insertion order).
+  void Add(Measurement measurement) {
+    measurements_.push_back(std::move(measurement));
+  }
+  void Add(std::string name, std::string unit, std::string better,
+           double value, std::map<std::string, std::string> labels = {}) {
+    Add(Measurement{std::move(name), std::move(unit), std::move(better),
+                    value, std::move(labels)});
+  }
+
+  const std::string& bench_name() const { return bench_; }
+  const BenchEnvironment& environment() const { return env_; }
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+
+  /// The full report as pretty-printed JSON.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  util::Status WriteJson(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  BenchEnvironment env_;
+  std::vector<Measurement> measurements_;
+};
+
+}  // namespace deepdirect::bench
+
+#endif  // DEEPDIRECT_BENCH_BENCH_REPORT_H_

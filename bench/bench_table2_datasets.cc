@@ -12,7 +12,7 @@
 #include "util/table_printer.h"
 
 int main() {
-  deepdirect::bench::BenchMetricsGuard metrics_guard;
+  deepdirect::bench::BenchSession session("table2_datasets");
   using namespace deepdirect;
   const double scale = bench::BenchScale();
   std::printf("=== Table 2: data sets (scale %.2f) ===\n", scale);
@@ -54,6 +54,10 @@ int main() {
                   util::TablePrinter::FormatDouble(reciprocity, 4),
                   util::TablePrinter::FormatDouble(assortativity, 4),
                   util::TablePrinter::FormatDouble(path_length, 3)});
+    session.Add("clustering", "coefficient", "none", clustering,
+                {{"dataset", data::DatasetName(id)}});
+    session.Add("reciprocity", "fraction", "none", reciprocity,
+                {{"dataset", data::DatasetName(id)}});
   }
   table.Print();
   std::printf(
@@ -61,5 +65,5 @@ int main() {
       "80,000/1,894,724;\nEpinions 75,879/508,837; Slashdot 77,360/905,468; "
       "Tencent 75,000/705,864.\nSynthetic stand-ins preserve ties-per-node "
       "ratios and bidirectional shares at reduced scale.\n");
-  return 0;
+  return session.Finish(0);
 }

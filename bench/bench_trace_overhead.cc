@@ -1,0 +1,105 @@
+// Trace-overhead bench: the evidence behind the obs-layer contract that
+// tracing is free when off and cheap when on.
+//   (1) raw span cost — TraceSpan construction/destruction per span with
+//       the buffer gate off (the always-paid path) and on;
+//   (2) end-to-end — a small DeepDirect training run with tracing off vs
+//       on, plus a bit-identity check: the traced nt=1 run must produce
+//       exactly the same embeddings, because instrumentation never draws
+//       from any Rng.
+// The bench exits nonzero when bit-identity is violated, so a CI fast run
+// doubles as a determinism gate.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/deepdirect.h"
+#include "core/models.h"
+#include "data/datasets.h"
+#include "obs/trace.h"
+#include "obs/trace_buffer.h"
+#include "util/timer.h"
+
+int main() {
+  deepdirect::bench::BenchSession session("trace_overhead");
+  using namespace deepdirect;
+  std::printf("=== Trace overhead ===\n\n");
+
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Default();
+  const bool was_enabled = buffer.enabled();
+
+  // --- (1) raw span cost.
+  const size_t spans = bench::BenchFast() ? 200'000 : 2'000'000;
+  buffer.set_enabled(false);
+  util::Timer timer;
+  for (size_t i = 0; i < spans; ++i) {
+    obs::TraceSpan span("bench.span");
+  }
+  const double off_ns = timer.ElapsedSeconds() / spans * 1e9;
+
+  buffer.set_shard_capacity(spans + 16);
+  buffer.set_enabled(true);
+  timer.Reset();
+  for (size_t i = 0; i < spans; ++i) {
+    obs::TraceSpan span("bench.span");
+  }
+  const double on_ns = timer.ElapsedSeconds() / spans * 1e9;
+  const uint64_t recorded = buffer.Events().size();
+  buffer.set_enabled(false);
+  buffer.Reset();
+  buffer.set_shard_capacity(obs::TraceBuffer::kDefaultShardCapacity);
+
+  std::printf("span cost: %.1f ns disabled, %.1f ns recording "
+              "(%llu spans recorded)\n",
+              off_ns, on_ns, static_cast<unsigned long long>(recorded));
+  session.Add("span_disabled_ns", "nanoseconds", "lower", off_ns);
+  session.Add("span_recording_ns", "nanoseconds", "lower", on_ns);
+
+  // --- (2) end-to-end training, tracing off vs on, nt=1 both times.
+  const auto net = data::MakeDataset(data::DatasetId::kTwitter,
+                                     bench::BenchScale() *
+                                         (bench::BenchFast() ? 0.25 : 1.0));
+  core::DeepDirectConfig config =
+      core::MethodConfigs::FastDefaults().deepdirect;
+  config.num_threads = 1;
+  config.d_step.num_threads = 1;
+
+  timer.Reset();
+  const auto plain = core::DeepDirectModel::Train(net, config);
+  const double plain_seconds = timer.ElapsedSeconds();
+
+  buffer.set_enabled(true);
+  timer.Reset();
+  const auto traced = core::DeepDirectModel::Train(net, config);
+  const double traced_seconds = timer.ElapsedSeconds();
+  buffer.set_enabled(false);
+  const size_t trace_events = buffer.Events().size();
+  buffer.Reset();
+
+  bool identical = plain->embeddings().rows() == traced->embeddings().rows();
+  for (size_t e = 0; identical && e < plain->embeddings().rows(); ++e) {
+    const auto a = plain->embeddings().Row(e);
+    const auto b = traced->embeddings().Row(e);
+    for (size_t k = 0; k < a.size(); ++k) {
+      if (a[k] != b[k]) {
+        identical = false;
+        break;
+      }
+    }
+  }
+
+  const double overhead =
+      plain_seconds > 0.0 ? traced_seconds / plain_seconds - 1.0 : 0.0;
+  std::printf("train: %.3fs untraced, %.3fs traced (%+.2f%%, %zu events); "
+              "nt=1 output bit-identical: %s\n",
+              plain_seconds, traced_seconds, overhead * 100.0, trace_events,
+              identical ? "yes" : "NO");
+  session.Add("train_seconds_untraced", "seconds", "lower", plain_seconds);
+  session.Add("train_seconds_traced", "seconds", "lower", traced_seconds);
+  session.Add("traced_run_bit_identical", "boolean", "higher",
+              identical ? 1.0 : 0.0);
+
+  buffer.set_enabled(was_enabled);
+  return session.Finish(identical ? 0 : 1);
+}

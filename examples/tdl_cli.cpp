@@ -33,6 +33,8 @@
 #include "graph/algorithms.h"
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace_buffer.h"
 #include "train/checkpoint.h"
 #include "util/csv_writer.h"
 #include "util/random.h"
@@ -65,7 +67,14 @@ int Usage() {
                " --checkpoint-every N sets the\n  epoch cadence (default 1),"
                " --checkpoint-keep K the retention (default\n  3, 0 = keep"
                " all), and --resume restarts from the newest valid\n"
-               "  checkpoint after an interruption\n");
+               "  checkpoint after an interruption\n"
+               "--metrics-interval-sec S: with --metrics-out, also append a"
+               " registry\n  snapshot every S seconds to"
+               " <metrics-out>.timeline.jsonl (one JSON\n  object per line)\n"
+               "--trace-out: record phase/epoch/checkpoint spans and write a"
+               " Chrome\n  trace_event JSON timeline to the given path (open"
+               " in Perfetto or\n  chrome://tracing); accepted by every"
+               " command\n");
   return 2;
 }
 
@@ -360,10 +369,47 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
   // Telemetry must be switched on before any work runs so graph loading
-  // and every trainer record into the snapshot.
+  // and every trainer record into the snapshot / trace timeline.
   const bool want_metrics = flags.contains("metrics-out");
   if (want_metrics) obs::Registry::Default().set_enabled(true);
+  const bool want_trace = flags.contains("trace-out");
+  if (want_trace) obs::TraceBuffer::Default().set_enabled(true);
+
+  std::optional<obs::TimelineWriter> timeline;
+  if (flags.contains("metrics-interval-sec")) {
+    if (!want_metrics) {
+      std::fprintf(stderr,
+                   "error: --metrics-interval-sec requires --metrics-out\n");
+      return 2;
+    }
+    const double interval = std::atof(flags.at("metrics-interval-sec").c_str());
+    if (interval <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --metrics-interval-sec expects a positive number,"
+                   " got '%s'\n",
+                   flags.at("metrics-interval-sec").c_str());
+      return 2;
+    }
+    timeline.emplace(flags.at("metrics-out") + ".timeline.jsonl", interval);
+    const auto status = timeline->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
   const int rc = Dispatch(command, flags);
+  if (timeline.has_value()) timeline->Stop();
+  if (want_trace && rc == 0) {
+    const auto status =
+        obs::TraceBuffer::Default().WriteChromeTrace(flags.at("trace-out"));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace timeline to %s\n",
+                flags.at("trace-out").c_str());
+  }
   if (want_metrics && rc == 0) {
     return WriteMetricsSnapshot(flags.at("metrics-out"));
   }

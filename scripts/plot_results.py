@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Plots the CSVs written by the bench harnesses under bench_results/.
+"""Plots the CSVs and BENCH_*.json reports written by the bench harnesses.
 
 Usage:
     python3 scripts/plot_results.py [bench_results_dir] [output_dir]
 
-Produces one PNG per reproduced figure (requires matplotlib; every plot is
-also skipped gracefully when its CSV is absent).
+Produces one PNG per reproduced figure plus a wall-time overview built
+from the structured BENCH_<name>.json snapshots (requires matplotlib;
+every plot is skipped gracefully when its input is absent).
 """
 
 import csv
+import json
 import os
 import sys
 from collections import defaultdict
@@ -162,6 +164,45 @@ def plot_fig7(results_dir, output_dir):
         plt.close(fig)
 
 
+def read_bench_reports(results_dir):
+    """Returns {bench: report} for every BENCH_*.json snapshot present."""
+    reports = {}
+    if not os.path.isdir(results_dir):
+        return reports
+    for name in sorted(os.listdir(results_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(results_dir, name)) as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if report.get("schema") == "deepdirect-bench-report":
+            reports[report["bench"]] = report
+    return reports
+
+
+def plot_bench_walltimes(results_dir, output_dir):
+    """Wall-time-per-bench overview from the structured JSON snapshots."""
+    reports = read_bench_reports(results_dir)
+    rows = []
+    for bench, report in sorted(reports.items()):
+        for m in report.get("measurements", []):
+            if m["name"] == "total_wall_seconds":
+                rows.append((bench, float(m["value"])))
+                break
+    if not rows:
+        return
+    fig, ax = plt.subplots(figsize=(7, 0.35 * len(rows) + 1.4))
+    ax.barh([r[0] for r in rows], [r[1] for r in rows])
+    ax.set_xlabel("total wall seconds")
+    sha = next(iter(reports.values())).get("environment", {}).get(
+        "git_sha", "?")
+    ax.set_title(f"Bench wall time per harness (git {sha})")
+    ax.invert_yaxis()
+    save(fig, output_dir, "bench_walltimes.png")
+
+
 def main():
     results_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
     output_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_results"
@@ -176,6 +217,7 @@ def main():
     plot_fig7(results_dir, output_dir)
     plot_fig8(results_dir, output_dir)
     plot_fig9(results_dir, output_dir)
+    plot_bench_walltimes(results_dir, output_dir)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Runs the full bench suite in fast (smoke) mode and checks that every
+# bench emits its structured BENCH_<name>.json report.
+#
+# Usage:
+#   scripts/run_benches.sh [build_dir] [outdir]
+#
+# Environment (forwarded to the benches):
+#   DD_BENCH_SCALE   — dataset scale (default 0.1 here: smoke size)
+#   DD_BENCH_THREADS — SGD workers (default 1: deterministic serial path)
+# DD_BENCH_FAST=1 and DD_BENCH_OUTDIR=<outdir> are always set.
+#
+# Exits nonzero when any bench fails or any report is missing, so CI can
+# gate on it directly.
+
+set -u
+
+BUILD_DIR="${1:-build}"
+OUTDIR="${2:-bench_results}"
+export DD_BENCH_FAST=1
+export DD_BENCH_OUTDIR="$OUTDIR"
+export DD_BENCH_SCALE="${DD_BENCH_SCALE:-0.1}"
+export DD_BENCH_THREADS="${DD_BENCH_THREADS:-1}"
+
+# name pairs: binary -> report name (BENCH_<name>.json)
+BENCHES=(
+  "bench_table2_datasets table2_datasets"
+  "bench_fig3_direction_discovery fig3_direction_discovery"
+  "bench_fig4_label_effect fig4_label_effect"
+  "bench_fig5_pattern_effect fig5_pattern_effect"
+  "bench_fig6_param_sensitivity fig6_param_sensitivity"
+  "bench_fig7_visualization fig7_visualization"
+  "bench_fig8_link_prediction fig8_link_prediction"
+  "bench_fig9_scalability fig9_scalability"
+  "bench_ablations ablations"
+  "bench_extended_baselines extended_baselines"
+  "bench_grid_search grid_search"
+  "bench_trace_overhead trace_overhead"
+  "bench_micro micro"
+)
+
+mkdir -p "$OUTDIR"
+failures=0
+for entry in "${BENCHES[@]}"; do
+  read -r binary report <<<"$entry"
+  exe="$BUILD_DIR/bench/$binary"
+  if [[ ! -x "$exe" ]]; then
+    echo "MISSING BINARY: $exe (build with -DDEEPDIRECT_BUILD_BENCHMARKS=ON)"
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "=== $binary ==="
+  if ! "$exe" >"$OUTDIR/$binary.log" 2>&1; then
+    echo "FAILED: $binary (log: $OUTDIR/$binary.log)"
+    tail -5 "$OUTDIR/$binary.log"
+    failures=$((failures + 1))
+    continue
+  fi
+  json="$OUTDIR/BENCH_$report.json"
+  if [[ ! -s "$json" ]]; then
+    echo "MISSING REPORT: $json"
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "ok: $json"
+done
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "bench suite: $failures failure(s)"
+  exit 1
+fi
+echo "bench suite: all ${#BENCHES[@]} benches passed; reports in $OUTDIR/"

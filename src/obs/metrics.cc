@@ -26,6 +26,10 @@ double FiniteOrZero(double value) {
   return std::isfinite(value) ? value : 0.0;
 }
 
+}  // namespace
+
+namespace internal {
+
 // Doubles print round-trippable; JSON forbids inf/nan, so clamp.
 std::string JsonNumber(double value) {
   char buffer[64];
@@ -53,6 +57,11 @@ std::string JsonString(const std::string& text) {
   return out;
 }
 
+}  // namespace internal
+
+namespace {
+using internal::JsonNumber;
+using internal::JsonString;
 }  // namespace
 
 double Histogram::BucketUpperBound(size_t index) {

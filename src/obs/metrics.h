@@ -57,6 +57,11 @@ inline constexpr size_t kShards = 8;
 /// Stable per-thread shard index in [0, kShards).
 size_t ThreadShard();
 
+/// JSON fragment helpers shared by the snapshot, trace, and timeline
+/// writers: a quoted/escaped string and a finite (inf/nan-clamped) number.
+std::string JsonString(const std::string& text);
+std::string JsonNumber(double value);
+
 /// Relaxed-atomic add on a double cell (portable CAS; atomic<double>::
 /// fetch_add is not guaranteed lock-free everywhere).
 inline void AtomicAddDouble(std::atomic<double>& cell, double delta) {

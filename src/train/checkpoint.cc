@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace deepdirect::train {
@@ -410,6 +411,7 @@ uint64_t Checkpointer::Resume(util::Rng& rng) {
 }
 
 void Checkpointer::Write(const EpochEnd& end, const util::Rng& rng) {
+  obs::TraceSpan span("checkpoint.write");
   CheckpointWriter writer;
   CheckpointMeta meta;
   meta.epochs_done = end.epoch + 1;

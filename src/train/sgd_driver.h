@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/checkpoint.h"
 #include "train/hogwild.h"
 #include "train/lr_schedule.h"
@@ -144,6 +145,14 @@ class SgdDriver {
                                      ? std::min<uint64_t>(end, (epoch + 1) * spe)
                                      : end;
       if (options_.epoch_start) options_.epoch_start(epoch);
+      // One timeline span per epoch chunk (named runs only). The span is
+      // pure steady-clock bookkeeping recorded at the quiesced boundary —
+      // it never touches any Rng, so traced runs stay bit-identical.
+      std::optional<obs::TraceSpan> epoch_span;
+      if (!options_.metrics_prefix.empty() && obs::TraceEnabled()) {
+        epoch_span.emplace(options_.metrics_prefix + ".epoch " +
+                           std::to_string(epoch));
+      }
       double epoch_loss = 0.0;
       if (workers_ == 1) {
         for (uint64_t step = cursor; step < chunk_end; ++step) {
@@ -194,7 +203,16 @@ class SgdDriver {
                                 : PerItemSeed(options_.shard_seed, epoch));
     const uint64_t chunk_steps = chunk_end - chunk_begin;
     std::vector<double> worker_loss(workers_, 0.0);
+    const bool trace_workers =
+        !options_.metrics_prefix.empty() && obs::TraceEnabled();
     pool.ParallelFor(workers_, [&](size_t w) {
+      // Per-worker span: lays the chunk out on the worker's own timeline
+      // row, making stragglers visible. Steady-clock only, no Rng.
+      std::optional<obs::TraceSpan> worker_span;
+      if (trace_workers) {
+        worker_span.emplace(options_.metrics_prefix + ".worker " +
+                            std::to_string(w));
+      }
       util::Rng worker_rng = shards.MakeShard(w);
       double loss_sum = 0.0;
       double window_loss = 0.0;

@@ -1,0 +1,124 @@
+// Tests for the structured bench-report writer (bench/bench_report.h):
+// schema shape, escaping, measurement ordering, environment capture, and
+// the WriteJson IO contract. The JSON is validated with an independent
+// parser (json_lint.h) so the hand-rolled writer can't certify itself.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench_report.h"
+#include "json_lint.h"
+
+namespace deepdirect {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(BenchReportTest, EmptyReportIsValidJsonWithSchemaAndEnvironment) {
+  const bench::BenchReport report("empty");
+  const std::string json = report.ToJson();
+  ASSERT_TRUE(testing::JsonLinter::Valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"deepdirect-bench-report\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"empty\""), std::string::npos);
+  for (const char* key :
+       {"\"git_sha\"", "\"build_type\"", "\"compiler\"",
+        "\"hardware_threads\"", "\"bench_scale\"", "\"bench_fast\"",
+        "\"bench_threads\"", "\"measurements\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(BenchReportTest, MeasurementsKeepInsertionOrderAndLabels) {
+  bench::BenchReport report("demo");
+  report.Add("train_seconds", "seconds", "lower", 12.5,
+             {{"dataset", "twitter"}, {"threads", "4"}});
+  report.Add("accuracy", "fraction", "higher", 0.875);
+  report.Add(bench::Measurement{"bytes", "bytes", "none", 4096.0, {}});
+
+  EXPECT_EQ(report.bench_name(), "demo");
+  ASSERT_EQ(report.measurements().size(), 3u);
+  EXPECT_EQ(report.measurements()[0].name, "train_seconds");
+  EXPECT_EQ(report.measurements()[2].name, "bytes");
+
+  const std::string json = report.ToJson();
+  ASSERT_TRUE(testing::JsonLinter::Valid(json)) << json;
+  const size_t first = json.find("\"train_seconds\"");
+  const size_t second = json.find("\"accuracy\"");
+  const size_t third = json.find("\"bytes\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+  EXPECT_NE(json.find("\"better\": \"lower\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataset\": \"twitter\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": \"4\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 0.875"), std::string::npos);
+}
+
+TEST(BenchReportTest, SpecialCharactersAndNonFiniteValuesStayValidJson) {
+  bench::BenchReport report("quo\"te\\bench\n");
+  report.Add("nan_metric", "seconds", "lower",
+             std::nan(""), {{"la\"bel", "v\\al"}});
+  report.Add("inf_metric", "seconds", "lower",
+             std::numeric_limits<double>::infinity());
+  const std::string json = report.ToJson();
+  ASSERT_TRUE(testing::JsonLinter::Valid(json)) << json;
+  // Non-finite values are clamped to 0 rather than emitting bare nan/inf.
+  EXPECT_EQ(json.find("nan,"), std::string::npos);
+  EXPECT_EQ(json.find("inf,"), std::string::npos);
+}
+
+TEST(BenchReportTest, EnvironmentReflectsBenchEnvVars) {
+  // setenv/getenv in a single-threaded test process is safe.
+  setenv("DD_BENCH_SCALE", "0.25", 1);
+  setenv("DD_BENCH_FAST", "1", 1);
+  setenv("DD_BENCH_THREADS", "3", 1);
+  const bench::BenchEnvironment env = bench::BenchEnvironment::Collect();
+  unsetenv("DD_BENCH_SCALE");
+  unsetenv("DD_BENCH_FAST");
+  unsetenv("DD_BENCH_THREADS");
+
+  EXPECT_DOUBLE_EQ(env.bench_scale, 0.25);
+  EXPECT_TRUE(env.bench_fast);
+  EXPECT_EQ(env.bench_threads, 3u);
+  EXPECT_FALSE(env.git_sha.empty());
+  EXPECT_FALSE(env.compiler.empty());
+
+  const bench::BenchEnvironment defaults = bench::BenchEnvironment::Collect();
+  EXPECT_DOUBLE_EQ(defaults.bench_scale, 1.0);
+  EXPECT_FALSE(defaults.bench_fast);
+  EXPECT_EQ(defaults.bench_threads, 1u);
+}
+
+TEST(BenchReportTest, WriteJsonRoundTripsAndReportsIoErrors) {
+  bench::BenchReport report("io");
+  report.Add("wall", "seconds", "lower", 1.5);
+
+  const std::string path = TempPath("bench_report_test.json");
+  ASSERT_TRUE(report.WriteJson(path).ok());
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), report.ToJson());
+  EXPECT_TRUE(testing::JsonLinter::Valid(contents.str()));
+  std::remove(path.c_str());
+
+  const auto bad = report.WriteJson("/nonexistent-dir/report.json");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepdirect

@@ -1,0 +1,153 @@
+// Minimal strict JSON syntax checker for tests: the writers in this repo
+// emit JSON by hand, so tests validate it with an independent parser
+// instead of trusting matching string concatenation on both sides.
+// Accepts exactly the RFC 8259 grammar (no comments, no trailing commas);
+// returns false on any violation. Values are not retained — this is a
+// validity check, not a DOM.
+
+#ifndef DEEPDIRECT_TESTS_JSON_LINT_H_
+#define DEEPDIRECT_TESTS_JSON_LINT_H_
+
+#include <cctype>
+#include <string>
+
+namespace deepdirect::testing {
+
+class JsonLinter {
+ public:
+  static bool Valid(const std::string& text) {
+    JsonLinter linter(text);
+    linter.SkipSpace();
+    if (!linter.Value()) return false;
+    linter.SkipSpace();
+    return linter.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonLinter(const std::string& text) : text_(text) {}
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    for (const char* c = word; *c != '\0'; ++c) {
+      if (!Eat(*c)) return false;
+    }
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char escape = text_[pos_++];
+        if (escape == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (escape != '"' && escape != '\\' && escape != '/' &&
+                   escape != 'b' && escape != 'f' && escape != 'n' &&
+                   escape != 'r' && escape != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Digits() {
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    Eat('-');
+    if (Eat('0')) {
+      // no leading zeros
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Eat('.') && !Digits()) return false;
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Object() {
+    if (!Eat('{')) return false;
+    SkipSpace();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (!Eat(':')) return false;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return false;
+    SkipSpace();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Value() {
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace deepdirect::testing
+
+#endif  // DEEPDIRECT_TESTS_JSON_LINT_H_

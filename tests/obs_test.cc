@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -21,7 +22,9 @@
 #include "embedding/skipgram.h"
 #include "graph/algorithms.h"
 #include "graph/graph_io.h"
+#include "json_lint.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/random.h"
 
@@ -29,7 +32,7 @@ namespace deepdirect {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + name;
+  return ::testing::TempDir() + name;
 }
 
 std::string ReadFile(const std::string& path) {
@@ -286,6 +289,108 @@ TEST(ObsTraceTest, DisabledRegistryRecordsNothing) {
   EXPECT_EQ(snapshot.counters.count("phase.obs_test.dark.calls"), 0u);
   EXPECT_EQ(snapshot.histograms.count("phase.obs_test.dark.seconds"), 0u);
   obs::Registry::Default().Reset();
+}
+
+// A registry gate that turns off between a PhaseScope's construction and
+// teardown must suppress the teardown write entirely: the call counter
+// (bumped at construction, while recording was still sanctioned) stays, but
+// no duration lands in a registry the owner has switched off.
+TEST(ObsTraceTest, PhaseScopeMidSpanDisableLeavesRegistryUntouched) {
+  obs::Registry& registry = obs::Registry::Default();
+  registry.Reset();
+  registry.set_enabled(true);
+  {
+    obs::PhaseScope scope("obs_test.mid_disable");
+    registry.set_enabled(false);
+  }
+  registry.set_enabled(true);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("phase.obs_test.mid_disable.calls"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("phase.obs_test.mid_disable.seconds").count,
+            0u);
+  registry.set_enabled(false);
+  registry.Reset();
+}
+
+// ---------------------------------------------------------------- timeline
+
+TEST(ObsTimelineTest, SnapshotLineIsValidJsonCoveringEveryKind) {
+  obs::Registry registry;
+  registry.GetCounter("events")->Add(3);
+  registry.GetGauge("speed")->Set(2.5);
+  registry.Append("loss", 0.9);
+  registry.Append("loss", 0.4);
+
+  const std::string line =
+      obs::TimelineWriter::SnapshotLine(1.5, registry.Snapshot());
+  ASSERT_TRUE(testing::JsonLinter::Valid(line)) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one JSONL record
+  EXPECT_NE(line.find("\"wall_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(line.find("\"events\": 3"), std::string::npos);
+  EXPECT_NE(line.find("\"speed\": 2.5"), std::string::npos);
+  // Series are summarized as length + latest value, not dumped whole.
+  EXPECT_NE(line.find("\"series_len\""), std::string::npos);
+  EXPECT_NE(line.find("\"series_last\""), std::string::npos);
+  EXPECT_NE(line.find("\"loss\": 2"), std::string::npos);
+  EXPECT_NE(line.find("\"loss\": 0.4"), std::string::npos);
+}
+
+TEST(ObsTimelineTest, WriterAppendsParseableTicksWhileTraining) {
+  ScopedDefaultRegistry guard;
+  obs::Registry::Default().GetCounter("obs_test.timeline.events")->Add(7);
+
+  const std::string path = TempPath("obs_timeline.jsonl");
+  obs::TimelineWriter writer(path, 0.02);
+  ASSERT_TRUE(writer.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(90));
+  writer.Stop();
+
+  // Periodic ticks plus the guaranteed final tick on Stop().
+  EXPECT_GE(writer.ticks(), 2u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  uint64_t lines = 0;
+  double last_wall = -1.0;
+  while (std::getline(in, line)) {
+    ASSERT_TRUE(testing::JsonLinter::Valid(line)) << line;
+    EXPECT_NE(line.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_NE(line.find("\"obs_test.timeline.events\": 7"),
+              std::string::npos);
+    const double wall =
+        std::stod(line.substr(line.find("\"wall_seconds\": ") + 16));
+    EXPECT_GT(wall, last_wall);  // wall clock strictly advances per tick
+    last_wall = wall;
+    ++lines;
+  }
+  EXPECT_EQ(lines, writer.ticks());
+  std::remove(path.c_str());
+}
+
+TEST(ObsTimelineTest, ShortRunsStillGetOneFinalTickAndStopIsIdempotent) {
+  ScopedDefaultRegistry guard;
+  const std::string path = TempPath("obs_timeline_short.jsonl");
+  obs::TimelineWriter writer(path, 60.0);  // interval far beyond the test
+  ASSERT_TRUE(writer.Start().ok());
+  writer.Stop();
+  writer.Stop();
+  EXPECT_EQ(writer.ticks(), 1u);
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(testing::JsonLinter::Valid(line)) << line;
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(ObsTimelineTest, StartFailsCleanlyOnUnwritablePath) {
+  obs::TimelineWriter writer("/nonexistent-dir/timeline.jsonl", 0.1);
+  const auto status = writer.Start();
+  EXPECT_FALSE(status.ok());
+  writer.Stop();  // must be safe after a failed Start
+  EXPECT_EQ(writer.ticks(), 0u);
 }
 
 // -------------------------------------------------------------- end-to-end
