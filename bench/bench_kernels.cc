@@ -1,0 +1,235 @@
+// Kernel-layer microbenchmarks: scalar vs SIMD dispatch on the E-step
+// inner loop (BM_EStepKernel) and the fused negative-sampling kernel
+// against its unfused composition (BM_FusedNegSampling).
+//
+// BENCH_kernels.json carries two kinds of rows:
+//   * timing rows ("ns" unit) — machine-specific, skipped by the CI gate
+//     (bench_compare.py --skip-timing), recorded for local tracking;
+//   * machine-independent gates — the sigmoid LUT error bound, the
+//     scalar-dispatch bit-identity check, and the ≥2× SIMD speedup flag
+//     (emitted only on hosts whose dispatch resolves a real vector ISA).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/kernels.h"
+#include "ml/matrix.h"
+#include "train/hogwild.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace deepdirect;
+using train::SerialAccess;
+
+bench::BenchSession* g_session = nullptr;
+
+constexpr size_t kDims = 64;       // typical embedding width
+constexpr size_t kRows = 1024;     // row pool, cycled deterministically
+constexpr size_t kNegatives = 5;   // λ negatives per E-step sample
+
+struct RowPool {
+  std::vector<float> m;  // "embedding" rows
+  std::vector<float> n;  // "context" rows
+  RowPool() : m(kRows * kDims), n(kRows * kDims) {
+    util::Rng rng(17);
+    for (float& v : m) v = static_cast<float>(rng.NextDoubleIn(-0.5, 0.5));
+    for (float& v : n) v = static_cast<float>(rng.NextDoubleIn(-0.5, 0.5));
+  }
+  std::span<float> MRow(size_t i) {
+    return {m.data() + (i % kRows) * kDims, kDims};
+  }
+  std::span<float> NRow(size_t i) {
+    return {n.data() + (i % kRows) * kDims, kDims};
+  }
+};
+
+// One synthetic E-step embedding update: a positive fused negative-sampling
+// step, λ negative ones, then the gradient apply with row decay — the
+// inner loop of core/deepdirect.cc with sampling and bookkeeping stripped.
+void EStepInnerStep(RowPool& pool, std::vector<double>& grad, size_t step,
+                    double lr) {
+  auto m_e = pool.MRow(step);
+  std::fill(grad.begin(), grad.end(), 0.0);
+  kernels::NegSamplingUpdate<SerialAccess>(grad, m_e, pool.NRow(step + 1),
+                                           1.0, 1.0, -lr);
+  for (size_t neg = 0; neg < kNegatives; ++neg) {
+    kernels::NegSamplingUpdate<SerialAccess>(
+        grad, m_e, pool.NRow(step * 7 + 13 * neg + 2), 0.0, 1.0, -lr);
+  }
+  kernels::ApplyGradDecay<SerialAccess>(m_e, grad, lr, 1e-4);
+}
+
+void BM_EStepKernel(benchmark::State& state) {
+  const bool simd = state.range(0) != 0;
+  kernels::SetMode(simd ? kernels::Mode::kSimd : kernels::Mode::kScalar);
+  RowPool pool;
+  std::vector<double> grad(kDims, 0.0);
+  size_t step = 0;
+
+  util::Timer timer;
+  for (auto _ : state) {
+    EStepInnerStep(pool, grad, step++, 0.025);
+    benchmark::DoNotOptimize(pool.m.data());
+  }
+  const double ns_per_step = timer.ElapsedSeconds() * 1e9 /
+                             static_cast<double>(state.iterations());
+  kernels::SetMode(kernels::Mode::kAuto);
+
+  state.counters["ns_per_step"] = ns_per_step;
+  // Scalar runs first (Arg order below) and anchors the speedup.
+  static double scalar_ns = 0.0;
+  if (!simd) scalar_ns = ns_per_step;
+  const double speedup =
+      (simd && ns_per_step > 0.0 && scalar_ns > 0.0) ? scalar_ns / ns_per_step
+                                                     : 0.0;
+  if (simd) state.counters["speedup_vs_scalar"] = speedup;
+
+  if (g_session != nullptr) {
+    g_session->Add("estep_inner_ns_per_step", "ns", "lower", ns_per_step,
+                   {{"dispatch", simd ? "simd" : "scalar"}});
+    if (simd) {
+      const bool real_isa =
+          std::strcmp(kernels::SimdIsaName(), "scalar") != 0;
+      g_session->Add("estep_simd_speedup", "x", "none", speedup);
+      if (real_isa) {
+        // The acceptance gate: ≥2× single-thread E-step inner-loop
+        // throughput on any host with a vector ISA. Boolean so the CI
+        // comparison is machine-independent.
+        g_session->Add("simd_speedup_ge_2x", "bool", "higher",
+                       speedup >= 2.0 ? 1.0 : 0.0);
+      }
+    }
+  }
+}
+BENCHMARK(BM_EStepKernel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      b->Arg(0)->Arg(1);  // scalar first: it anchors the speedup ratio
+      b->Iterations(bench::BenchFast() ? 2000 : 20000);
+    });
+
+// The fused kernel against its unfused composition (separate dot, sigmoid,
+// gradient accumulation, and axpy passes) in the same dispatch mode —
+// isolates the win of fusing from the win of vectorizing.
+void UnfusedNegSampling(std::vector<double>& grad, std::span<const float> src,
+                        std::span<float> dst, double label, double lr) {
+  const double score = kernels::DotRows<SerialAccess>(src, dst);
+  const double g = 1.0 * (kernels::SigmoidLut(score) - label);
+  for (size_t k = 0; k < src.size(); ++k) {
+    grad[k] += g * static_cast<double>(dst[k]);
+  }
+  kernels::AxpyRows<SerialAccess>(dst, -lr * g, src);
+}
+
+void BM_FusedNegSampling(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  kernels::SetMode(kernels::Mode::kSimd);
+  RowPool pool;
+  std::vector<double> grad(kDims, 0.0);
+  size_t step = 0;
+
+  util::Timer timer;
+  for (auto _ : state) {
+    auto src = pool.MRow(step);
+    auto dst = pool.NRow(step * 3 + 1);
+    if (fused) {
+      kernels::NegSamplingUpdate<SerialAccess>(grad, src, dst, 1.0, 1.0,
+                                               -0.025);
+    } else {
+      UnfusedNegSampling(grad, src, dst, 1.0, 0.025);
+    }
+    benchmark::DoNotOptimize(pool.n.data());
+    ++step;
+  }
+  const double ns_per_call = timer.ElapsedSeconds() * 1e9 /
+                             static_cast<double>(state.iterations());
+  kernels::SetMode(kernels::Mode::kAuto);
+
+  state.counters["ns_per_call"] = ns_per_call;
+  static double unfused_ns = 0.0;
+  if (!fused) unfused_ns = ns_per_call;
+  if (g_session != nullptr) {
+    g_session->Add("neg_sampling_ns_per_call", "ns", "lower", ns_per_call,
+                   {{"variant", fused ? "fused" : "composed"}});
+    if (fused && ns_per_call > 0.0 && unfused_ns > 0.0) {
+      g_session->Add("fused_vs_composed_speedup", "x", "none",
+                     unfused_ns / ns_per_call);
+    }
+  }
+}
+BENCHMARK(BM_FusedNegSampling)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      b->Arg(0)->Arg(1);  // composed first: it anchors the ratio
+      b->Iterations(bench::BenchFast() ? 5000 : 50000);
+    });
+
+// Machine-independent gates, computed once outside google-benchmark.
+void AddCorrectnessGates(bench::BenchSession& session) {
+  // Sigmoid LUT error bound over a fine sweep of the clamp range.
+  double max_err = 0.0;
+  for (double x = -7.0; x <= 7.0; x += 1e-4) {
+    max_err = std::max(
+        max_err, std::fabs(kernels::SigmoidLut(x) - kernels::Sigmoid(x)));
+  }
+  session.Add("sigmoid_lut_max_abs_error", "abs_error", "lower", max_err);
+
+  // Scalar dispatch must reproduce the historical E-step arithmetic
+  // bit-for-bit (the same contract tests/kernels_test.cc pins widely; the
+  // bench re-checks it so the committed baseline records it as a gate).
+  kernels::SetMode(kernels::Mode::kScalar);
+  util::Rng rng(23);
+  bool identical = true;
+  for (size_t n : {8u, 13u, 64u}) {
+    std::vector<float> src(n), dst(n), dst_ref;
+    for (float& v : src) v = static_cast<float>(rng.NextDoubleIn(-1, 1));
+    for (float& v : dst) v = static_cast<float>(rng.NextDoubleIn(-1, 1));
+    dst_ref = dst;
+    std::vector<double> grad(n, 0.0), grad_ref(n, 0.0);
+    const double lr = 0.025;
+    double score_ref = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      score_ref +=
+          static_cast<double>(src[k]) * static_cast<double>(dst_ref[k]);
+    }
+    const double g = ml::Sigmoid(score_ref) - 1.0;
+    for (size_t k = 0; k < n; ++k) {
+      grad_ref[k] += g * static_cast<double>(dst_ref[k]);
+    }
+    const double alpha = -lr * g;
+    for (size_t k = 0; k < n; ++k) {
+      dst_ref[k] += static_cast<float>(alpha * static_cast<double>(src[k]));
+    }
+    const double score = kernels::NegSamplingUpdate<SerialAccess>(
+        grad, src, dst, 1.0, 1.0, -lr);
+    identical &= score == score_ref;
+    for (size_t k = 0; k < n; ++k) {
+      identical &= dst[k] == dst_ref[k] && grad[k] == grad_ref[k];
+    }
+  }
+  kernels::SetMode(kernels::Mode::kAuto);
+  session.Add("scalar_dispatch_bit_identical", "bool", "higher",
+              identical ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  deepdirect::bench::BenchSession session("kernels");
+  g_session = &session;
+  std::fprintf(stderr, "kernel dispatch: isa=%s active=%s\n",
+               deepdirect::kernels::SimdIsaName(),
+               deepdirect::kernels::ActivePathName());
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return session.Finish(1);
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  AddCorrectnessGates(session);
+  return session.Finish(0);
+}

@@ -32,6 +32,7 @@
 #include "data/datasets.h"
 #include "graph/algorithms.h"
 #include "graph/graph_io.h"
+#include "kernels/dispatch.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace_buffer.h"
@@ -74,7 +75,12 @@ int Usage() {
                "--trace-out: record phase/epoch/checkpoint spans and write a"
                " Chrome\n  trace_event JSON timeline to the given path (open"
                " in Perfetto or\n  chrome://tracing); accepted by every"
-               " command\n");
+               " command\n"
+               "--kernels: inner-loop dispatch — auto (default: SIMD when"
+               " the CPU\n  supports it), scalar (bit-identical to the"
+               " historical serial\n  trainers), or simd (force the"
+               " vectorized path); the DD_KERNELS\n  env var sets the"
+               " default\n");
   return 2;
 }
 
@@ -368,6 +374,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
+  // Kernel dispatch must be pinned before any trainer touches the SIMD
+  // layer; the flag overrides the DD_KERNELS environment default.
+  if (flags.contains("kernels") &&
+      !kernels::SetMode(flags.at("kernels"))) {
+    std::fprintf(stderr,
+                 "error: --kernels expects auto|scalar|simd, got '%s'\n",
+                 flags.at("kernels").c_str());
+    return 2;
+  }
   // Telemetry must be switched on before any work runs so graph loading
   // and every trainer record into the snapshot / trace timeline.
   const bool want_metrics = flags.contains("metrics-out");

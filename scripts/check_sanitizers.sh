@@ -31,9 +31,12 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
 # trainer (DeepDirect E/D-step, skip-gram, LINE, logistic regression), the
 # metrics registry the trainers record into, and the parallel deterministic
 # preprocessing stages (pattern precompute, centrality sweeps, two-pass
-# graph build) at num_threads=4.
+# graph build) at num_threads=4, and the SIMD kernel layer (dispatch,
+# scalar-vs-SIMD tolerance sweeps, policy interplay) that all trainers now
+# route their inner loops through.
 TARGETS=(train_test checkpoint_test deepdirect_test embedding_test
-         walks_test ml_test obs_test trace_test centrality_test graph_test)
+         walks_test ml_test obs_test trace_test centrality_test graph_test
+         kernels_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # Multi-worker + determinism tests exercise the Hogwild path and the serial
@@ -41,7 +44,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
 
-FILTER='*MultiThreaded*:*Deterministic*:*Concurrent*:*Resume*:CheckpointTest.*:SgdDriverTest.*:ThreadPoolTest.*:ProgressReporterTest.*:ObsCounterTest.*:ObsHistogramTest.*:ObsTraceTest.*:ObsEndToEndTest.*:ObsTimelineTest.*:TraceBufferTest.*:TraceSpanTest.*:TraceEndToEndTest.*'
+FILTER='*MultiThreaded*:*Deterministic*:*Concurrent*:*Resume*:CheckpointTest.*:SgdDriverTest.*:ThreadPoolTest.*:ProgressReporterTest.*:ObsCounterTest.*:ObsHistogramTest.*:ObsTraceTest.*:ObsEndToEndTest.*:ObsTimelineTest.*:TraceBufferTest.*:TraceSpanTest.*:TraceEndToEndTest.*:KernelsTest.*'
 for target in "${TARGETS[@]}"; do
   echo "=== $target ($SANITIZER) ==="
   "$BUILD_DIR/tests/$target" --gtest_filter="$FILTER"

@@ -22,27 +22,28 @@ export DD_BENCH_OUTDIR="$OUTDIR"
 export DD_BENCH_SCALE="${DD_BENCH_SCALE:-0.1}"
 export DD_BENCH_THREADS="${DD_BENCH_THREADS:-1}"
 
-# name pairs: binary -> report name (BENCH_<name>.json)
-BENCHES=(
-  "bench_table2_datasets table2_datasets"
-  "bench_fig3_direction_discovery fig3_direction_discovery"
-  "bench_fig4_label_effect fig4_label_effect"
-  "bench_fig5_pattern_effect fig5_pattern_effect"
-  "bench_fig6_param_sensitivity fig6_param_sensitivity"
-  "bench_fig7_visualization fig7_visualization"
-  "bench_fig8_link_prediction fig8_link_prediction"
-  "bench_fig9_scalability fig9_scalability"
-  "bench_ablations ablations"
-  "bench_extended_baselines extended_baselines"
-  "bench_grid_search grid_search"
-  "bench_trace_overhead trace_overhead"
-  "bench_micro micro"
-)
+# Auto-discover benches from the checked-in sources: every bench/bench_*.cc
+# is one bench binary whose report is BENCH_<name>.json with the bench_
+# prefix stripped (bench_report.cc is the report-writer library, not a
+# bench). Discovering from sources rather than built binaries means a bench
+# that failed to build still counts as a failure instead of silently
+# vanishing from the suite.
+REPO_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BENCHES=()
+for src in "$REPO_DIR"/bench/bench_*.cc; do
+  binary="$(basename "$src" .cc)"
+  [[ "$binary" == "bench_report" ]] && continue
+  BENCHES+=("$binary")
+done
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  echo "no bench sources found under $REPO_DIR/bench/"
+  exit 1
+fi
 
 mkdir -p "$OUTDIR"
 failures=0
-for entry in "${BENCHES[@]}"; do
-  read -r binary report <<<"$entry"
+for binary in "${BENCHES[@]}"; do
+  report="${binary#bench_}"
   exe="$BUILD_DIR/bench/$binary"
   if [[ ! -x "$exe" ]]; then
     echo "MISSING BINARY: $exe (build with -DDEEPDIRECT_BUILD_BENCHMARKS=ON)"

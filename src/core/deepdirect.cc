@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "ml/dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -290,15 +291,14 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
 
     double step_loss = 0.0;
 
-    // --- L_topo: positive pair + λ negatives (Eqs. 23–25).
+    // --- L_topo: positive pair + λ negatives (Eqs. 23–25). The fused
+    // kernel computes the score, accumulates the m_e gradient, and applies
+    // the context update in one pass: g = σ(score) − y, row −= lr·g·m_e.
     {
       auto n_pos = n.Row(e_prime);
-      const double score = train::DotRows<A>(m_e, n_pos);
-      const double g_pos = ml::Sigmoid(score) - 1.0;
-      for (size_t k = 0; k < l; ++k) {
-        grad_m[k] += g_pos * static_cast<double>(A::Load(n_pos[k]));
-      }
-      train::AddScaled<A>(n_pos, -lr * g_pos, m_e);
+      const double score = kernels::NegSamplingUpdate<A>(
+          grad_m, m_e, n_pos, /*label=*/1.0, /*grad_scale=*/1.0,
+          /*update_scale=*/-lr);
       if (track_loss) step_loss -= ml::LogSigmoid(score);
     }
     for (size_t neg = 0; neg < config.negative_samples; ++neg) {
@@ -315,12 +315,9 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
       if (f == e_prime) continue;  // degenerate noise mass; give up
       ++tally.negatives;
       auto n_neg = n.Row(f);
-      const double score = train::DotRows<A>(m_e, n_neg);
-      const double g_neg = ml::Sigmoid(score);
-      for (size_t k = 0; k < l; ++k) {
-        grad_m[k] += g_neg * static_cast<double>(A::Load(n_neg[k]));
-      }
-      train::AddScaled<A>(n_neg, -lr * g_neg, m_e);
+      const double score = kernels::NegSamplingUpdate<A>(
+          grad_m, m_e, n_neg, /*label=*/0.0, /*grad_scale=*/1.0,
+          /*update_scale=*/-lr);
       if (track_loss) step_loss -= ml::LogSigmoid(-score);
     }
 
@@ -336,10 +333,8 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
         warmup_scale > 0.0 &&
         (idx.IsLabeled(e) || arc_class == ArcClass::kUndirected);
     if (needs_prediction) {
-      double score = A::Load(b_prime);
-      for (size_t k = 0; k < l; ++k) {
-        score += A::Load(w_prime[k]) * static_cast<double>(A::Load(m_e[k]));
-      }
+      const double score =
+          kernels::DotF64F32<A>(A::Load(b_prime), w_prime, m_e);
       const double prediction = ml::Sigmoid(score);
 
       // Ablation hook: dividing by deg_tie(e) cancels the tie-degree
@@ -368,15 +363,11 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
           double y_t = 0.0;
           for (uint32_t t = t_begin; t < t_end; ++t) {
             const auto& [uw, vw] = patterns.triad_pairs[t];
-            double score_uw = A::Load(b_prime);
-            double score_vw = score_uw;
-            const auto m_uw = m.Row(uw);
-            const auto m_vw = m.Row(vw);
-            for (size_t k = 0; k < l; ++k) {
-              const double wk = A::Load(w_prime[k]);
-              score_uw += wk * static_cast<double>(A::Load(m_uw[k]));
-              score_vw += wk * static_cast<double>(A::Load(m_vw[k]));
-            }
+            // Both pair scores in one kernel call sharing the w' loads.
+            double score_uw = 0.0;
+            double score_vw = 0.0;
+            kernels::DotPairF64F32<A>(A::Load(b_prime), w_prime, m.Row(uw),
+                                      m.Row(vw), &score_uw, &score_vw);
             const double y_uw = ml::Sigmoid(score_uw);
             const double y_vw = ml::Sigmoid(score_vw);
             y_t += y_uw / std::max(y_uw + y_vw, 1e-12);
@@ -388,26 +379,14 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
 
       if (g_b != 0.0) {
         // Eq. 23 (classifier part) and Eq. 22, plus L2 decay on w'.
-        for (size_t k = 0; k < l; ++k) {
-          const double wk = A::Load(w_prime[k]);
-          grad_m[k] += g_b * wk;
-          A::Store(w_prime[k],
-                   wk - lr * (g_b * static_cast<double>(A::Load(m_e[k])) +
-                              config.classifier_l2 * wk));
-        }
+        kernels::ClassifierUpdate<A>(grad_m, w_prime, m_e, g_b, lr,
+                                     config.classifier_l2);
         A::Store(b_prime, A::Load(b_prime) - lr * g_b);
       }
     }
 
     // Line 15: apply the accumulated embedding gradient (with row decay).
-    for (size_t k = 0; k < l; ++k) {
-      const float mk = A::Load(m_e[k]);
-      A::Store(m_e[k],
-               mk - static_cast<float>(
-                        lr * (grad_m[k] +
-                              config.embedding_l2 *
-                                  static_cast<double>(mk))));
-    }
+    kernels::ApplyGradDecay<A>(m_e, grad_m, lr, config.embedding_l2);
 
     return step_loss;
   });

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
+#include "train/hogwild.h"
 #include "util/alias_table.h"
 
 namespace deepdirect::embedding {
@@ -30,34 +32,25 @@ ml::Matrix TrainEdgeListEmbedding(
 
   const uint64_t total_steps =
       static_cast<uint64_t>(config.samples_per_edge) * edges.size();
+  // Serial trainer: plain access policy, same fused kernel as skip-gram.
+  using A = train::SerialAccess;
   std::vector<double> grad(dims);
   for (uint64_t step = 0; step < total_steps; ++step) {
     const double lr = config.Schedule().At(step, total_steps);
     const auto& [src, dst] = edges[rng.NextIndex(edges.size())];
     auto src_row = vectors.Row(src);
     std::fill(grad.begin(), grad.end(), 0.0);
-    {
-      auto dst_row = contexts.Row(dst);
-      const double g = (1.0 - ml::Sigmoid(ml::Dot(src_row, dst_row))) * lr;
-      for (size_t k = 0; k < dims; ++k) {
-        grad[k] += g * static_cast<double>(dst_row[k]);
-        dst_row[k] += static_cast<float>(g * static_cast<double>(src_row[k]));
-      }
-    }
+    kernels::NegSamplingUpdate<A>(grad, src_row, contexts.Row(dst),
+                                  /*label=*/1.0, /*grad_scale=*/-lr,
+                                  /*update_scale=*/1.0);
     for (size_t neg = 0; neg < config.negative_samples; ++neg) {
       const uint32_t noise_node = static_cast<uint32_t>(noise.Sample(rng));
       if (noise_node == dst) continue;
-      auto noise_row = contexts.Row(noise_node);
-      const double g = -ml::Sigmoid(ml::Dot(src_row, noise_row)) * lr;
-      for (size_t k = 0; k < dims; ++k) {
-        grad[k] += g * static_cast<double>(noise_row[k]);
-        noise_row[k] +=
-            static_cast<float>(g * static_cast<double>(src_row[k]));
-      }
+      kernels::NegSamplingUpdate<A>(grad, src_row, contexts.Row(noise_node),
+                                    /*label=*/0.0, /*grad_scale=*/-lr,
+                                    /*update_scale=*/1.0);
     }
-    for (size_t k = 0; k < dims; ++k) {
-      src_row[k] += static_cast<float>(grad[k]);
-    }
+    kernels::ApplyGrad<A>(src_row, grad);
   }
   return vectors;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "train/sgd_driver.h"
 #include "util/alias_table.h"
 
@@ -36,14 +37,10 @@ template <typename A>
 void NegSamplingStep(std::span<float> source, std::span<float> target,
                      double label, double lr,
                      std::vector<double>& source_grad) {
-  const double score = train::DotRows<A>(source, target);
-  const double g = (label - ml::Sigmoid(score)) * lr;
-  for (size_t k = 0; k < source.size(); ++k) {
-    source_grad[k] += g * static_cast<double>(A::Load(target[k]));
-    A::Store(target[k],
-             A::Load(target[k]) +
-                 static_cast<float>(g * static_cast<double>(A::Load(source[k]))));
-  }
+  // Fused kernel: g = −lr·(σ(score) − label) ≡ (label − σ)·lr, target +=
+  // g·source, source gradient accumulated in the same pass.
+  kernels::NegSamplingUpdate<A>(source_grad, source, target, label,
+                                /*grad_scale=*/-lr, /*update_scale=*/1.0);
 }
 
 }  // namespace
@@ -137,12 +134,7 @@ LineEmbedding LineEmbedding::Train(const MixedSocialNetwork& g,
       NegSamplingStep<A>(first.Row(u), first_ctx.Row(noise_node), 0.0, lr,
                          source_grad);
     }
-    {
-      auto row = first.Row(u);
-      for (size_t k = 0; k < half; ++k) {
-        A::Store(row[k], A::Load(row[k]) + static_cast<float>(source_grad[k]));
-      }
-    }
+    kernels::ApplyGrad<A>(first.Row(u), source_grad);
 
     // --- Second order: vertex u against context v.
     std::fill(source_grad.begin(), source_grad.end(), 0.0);
@@ -154,12 +146,7 @@ LineEmbedding LineEmbedding::Train(const MixedSocialNetwork& g,
       NegSamplingStep<A>(second.Row(u), second_ctx.Row(noise_node), 0.0, lr,
                          source_grad);
     }
-    {
-      auto row = second.Row(u);
-      for (size_t k = 0; k < half; ++k) {
-        A::Store(row[k], A::Load(row[k]) + static_cast<float>(source_grad[k]));
-      }
-    }
+    kernels::ApplyGrad<A>(second.Row(u), source_grad);
     return 0.0;
   });
 

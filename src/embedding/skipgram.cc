@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "train/sgd_driver.h"
 #include "util/alias_table.h"
 
@@ -110,36 +111,20 @@ ml::Matrix TrainSkipGram(const WalkCorpus& corpus, size_t num_nodes,
       const NodeId context = walk[context_pos];
       std::fill(grad.begin(), grad.end(), 0.0);
 
-      {
-        auto context_row = contexts.Row(context);
-        const double score = train::DotRows<A>(center_row, context_row);
-        const double g = (1.0 - ml::Sigmoid(score)) * lr;
-        for (size_t k = 0; k < dims; ++k) {
-          grad[k] += g * static_cast<double>(A::Load(context_row[k]));
-          A::Store(context_row[k],
-                   A::Load(context_row[k]) +
-                       static_cast<float>(
-                           g * static_cast<double>(A::Load(center_row[k]))));
-        }
-      }
+      // Fused kernel: g = −lr·(σ(score) − y), context += g·center, with
+      // the center gradient accumulated into `grad` in the same pass.
+      kernels::NegSamplingUpdate<A>(grad, center_row, contexts.Row(context),
+                                    /*label=*/1.0, /*grad_scale=*/-lr,
+                                    /*update_scale=*/1.0);
       for (size_t neg = 0; neg < config.negative_samples; ++neg) {
         const NodeId noise_node = static_cast<NodeId>(noise.Sample(r));
         if (noise_node == context) continue;
-        auto noise_row = contexts.Row(noise_node);
-        const double score = train::DotRows<A>(center_row, noise_row);
-        const double g = -ml::Sigmoid(score) * lr;
-        for (size_t k = 0; k < dims; ++k) {
-          grad[k] += g * static_cast<double>(A::Load(noise_row[k]));
-          A::Store(noise_row[k],
-                   A::Load(noise_row[k]) +
-                       static_cast<float>(
-                           g * static_cast<double>(A::Load(center_row[k]))));
-        }
+        kernels::NegSamplingUpdate<A>(grad, center_row,
+                                      contexts.Row(noise_node),
+                                      /*label=*/0.0, /*grad_scale=*/-lr,
+                                      /*update_scale=*/1.0);
       }
-      for (size_t k = 0; k < dims; ++k) {
-        A::Store(center_row[k],
-                 A::Load(center_row[k]) + static_cast<float>(grad[k]));
-      }
+      kernels::ApplyGrad<A>(center_row, grad);
     }
     return 0.0;
   });

@@ -1,0 +1,44 @@
+#include "kernels/sigmoid.h"
+
+#include <array>
+
+namespace deepdirect::kernels {
+
+namespace {
+
+// One extra entry so interpolation at the right edge reads a real value.
+struct Table {
+  std::array<float, kSigmoidLutEntries + 1> values;
+  Table() {
+    for (size_t i = 0; i <= kSigmoidLutEntries; ++i) {
+      const double x = -kSigmoidClamp + (2.0 * kSigmoidClamp) *
+                                            static_cast<double>(i) /
+                                            static_cast<double>(kSigmoidLutEntries);
+      values[i] = static_cast<float>(Sigmoid(x));
+    }
+  }
+};
+
+const Table& Lut() {
+  static const Table table;
+  return table;
+}
+
+}  // namespace
+
+double SigmoidLut(double x) {
+  if (std::isnan(x)) return x;
+  if (x > kSigmoidClamp) x = kSigmoidClamp;
+  if (x < -kSigmoidClamp) x = -kSigmoidClamp;
+  const double t = (x + kSigmoidClamp) *
+                   (static_cast<double>(kSigmoidLutEntries) /
+                    (2.0 * kSigmoidClamp));
+  size_t i = static_cast<size_t>(t);
+  if (i >= kSigmoidLutEntries) i = kSigmoidLutEntries - 1;
+  const double frac = t - static_cast<double>(i);
+  const auto& lut = Lut().values;
+  const double lo = lut[i];
+  return lo + frac * (static_cast<double>(lut[i + 1]) - lo);
+}
+
+}  // namespace deepdirect::kernels

@@ -1,0 +1,54 @@
+// Sigmoid primitives shared by every trainer.
+//
+// Both entry points clamp their argument to ±kSigmoidClamp (the classic
+// word2vec ±6 bound): beyond it the logistic function is within 2.5e-3 of
+// saturation and the gradient signal is noise, so the scalar and LUT paths
+// agree exactly on how extreme scores (including ±inf) behave.
+//
+//   * Sigmoid       — exact: clamp, then the numerically safe two-branch
+//                     exp formula. This is what ml::Sigmoid forwards to
+//                     and what the scalar kernel dispatch uses.
+//   * SigmoidLut    — table lookup with linear interpolation, used by the
+//                     SIMD kernel dispatch. kSigmoidLutEntries intervals
+//                     over [-6, 6]; with a float-valued table the absolute
+//                     error against Sigmoid() is bounded by
+//                     kSigmoidLutMaxError (interpolation h²/8·max|σ''| ≈
+//                     4.2e-7 plus float storage rounding ≤ 6e-8), pinned
+//                     by tests/kernels_test.cc.
+
+#ifndef DEEPDIRECT_KERNELS_SIGMOID_H_
+#define DEEPDIRECT_KERNELS_SIGMOID_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace deepdirect::kernels {
+
+/// Clamp bound for both sigmoid paths (and ml::LogSigmoid).
+inline constexpr double kSigmoidClamp = 6.0;
+
+/// Number of LUT intervals over [-kSigmoidClamp, kSigmoidClamp].
+inline constexpr size_t kSigmoidLutEntries = 2048;
+
+/// Documented absolute-error bound of SigmoidLut vs Sigmoid.
+inline constexpr double kSigmoidLutMaxError = 1e-6;
+
+/// Exact clamped logistic sigmoid (NaN propagates).
+inline double Sigmoid(double x) {
+  if (x > kSigmoidClamp) x = kSigmoidClamp;
+  if (x < -kSigmoidClamp) x = -kSigmoidClamp;
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// Table-interpolated sigmoid; |SigmoidLut(x) − Sigmoid(x)| ≤
+/// kSigmoidLutMaxError everywhere (NaN propagates).
+double SigmoidLut(double x);
+
+}  // namespace deepdirect::kernels
+
+#endif  // DEEPDIRECT_KERNELS_SIGMOID_H_

@@ -1,0 +1,61 @@
+// AVX2+FMA ops table. This translation unit is compiled with
+// -mavx2 -mfma (see CMakeLists.txt) and must only be entered after
+// dispatch.cc has confirmed the CPU supports both — nothing here may be
+// called from generic code paths directly.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "kernels/vec_kernels.h"
+
+namespace deepdirect::kernels::detail {
+namespace {
+
+struct Avx2 {
+  static constexpr size_t kF32Lanes = 8;
+  using F32 = __m256;
+  using F64 = __m256d;
+
+  static F32 LoadF32(const float* p) { return _mm256_loadu_ps(p); }
+  static void StoreF32(float* p, F32 v) { _mm256_storeu_ps(p, v); }
+  static F64 LoadF64(const double* p) { return _mm256_loadu_pd(p); }
+  static void StoreF64(double* p, F64 v) { _mm256_storeu_pd(p, v); }
+  static F64 ZeroF64() { return _mm256_setzero_pd(); }
+  static F64 Set1F64(double x) { return _mm256_set1_pd(x); }
+  static F32 AddF32(F32 a, F32 b) { return _mm256_add_ps(a, b); }
+  static F32 SubF32(F32 a, F32 b) { return _mm256_sub_ps(a, b); }
+  static F64 AddF64(F64 a, F64 b) { return _mm256_add_pd(a, b); }
+  static F64 SubF64(F64 a, F64 b) { return _mm256_sub_pd(a, b); }
+  static F64 MulF64(F64 a, F64 b) { return _mm256_mul_pd(a, b); }
+  static F64 MulAddF64(F64 a, F64 b, F64 acc) {
+    return _mm256_fmadd_pd(a, b, acc);
+  }
+  static F64 WidenLo(F32 v) {
+    return _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  }
+  static F64 WidenHi(F32 v) {
+    return _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+  }
+  static F32 NarrowF32(F64 lo, F64 hi) {
+    return _mm256_insertf128_ps(
+        _mm256_castps128_ps256(_mm256_cvtpd_ps(lo)), _mm256_cvtpd_ps(hi), 1);
+  }
+  static double ReduceAddF64(F64 v) {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d s = _mm_add_pd(lo, hi);
+    return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+  }
+};
+
+}  // namespace
+
+const Ops& Avx2Ops() {
+  static const Ops ops = VecKernels<Avx2>::Table("avx2");
+  return ops;
+}
+
+}  // namespace deepdirect::kernels::detail
+
+#endif  // x86

@@ -1,0 +1,50 @@
+// NEON ops table — baseline on aarch64, so no extra target flags. Uses
+// vfmaq_f64 (fused) for MulAddF64, matching the FMA convention of the
+// AVX2 table.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "kernels/vec_kernels.h"
+
+namespace deepdirect::kernels::detail {
+namespace {
+
+struct Neon {
+  static constexpr size_t kF32Lanes = 4;
+  using F32 = float32x4_t;
+  using F64 = float64x2_t;
+
+  static F32 LoadF32(const float* p) { return vld1q_f32(p); }
+  static void StoreF32(float* p, F32 v) { vst1q_f32(p, v); }
+  static F64 LoadF64(const double* p) { return vld1q_f64(p); }
+  static void StoreF64(double* p, F64 v) { vst1q_f64(p, v); }
+  static F64 ZeroF64() { return vdupq_n_f64(0.0); }
+  static F64 Set1F64(double x) { return vdupq_n_f64(x); }
+  static F32 AddF32(F32 a, F32 b) { return vaddq_f32(a, b); }
+  static F32 SubF32(F32 a, F32 b) { return vsubq_f32(a, b); }
+  static F64 AddF64(F64 a, F64 b) { return vaddq_f64(a, b); }
+  static F64 SubF64(F64 a, F64 b) { return vsubq_f64(a, b); }
+  static F64 MulF64(F64 a, F64 b) { return vmulq_f64(a, b); }
+  static F64 MulAddF64(F64 a, F64 b, F64 acc) {
+    return vfmaq_f64(acc, a, b);
+  }
+  static F64 WidenLo(F32 v) { return vcvt_f64_f32(vget_low_f32(v)); }
+  static F64 WidenHi(F32 v) { return vcvt_f64_f32(vget_high_f32(v)); }
+  static F32 NarrowF32(F64 lo, F64 hi) {
+    return vcombine_f32(vcvt_f32_f64(lo), vcvt_f32_f64(hi));
+  }
+  static double ReduceAddF64(F64 v) { return vaddvq_f64(v); }
+};
+
+}  // namespace
+
+const Ops& NeonOps() {
+  static const Ops ops = VecKernels<Neon>::Table("neon");
+  return ops;
+}
+
+}  // namespace deepdirect::kernels::detail
+
+#endif  // aarch64

@@ -1,0 +1,52 @@
+// SSE2 ops table — the x86-64 baseline ISA, so this translation unit
+// needs no extra target flags and is always safe to run. No FMA: MulAddF64
+// is a separate multiply + add.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+#include "kernels/vec_kernels.h"
+
+namespace deepdirect::kernels::detail {
+namespace {
+
+struct Sse2 {
+  static constexpr size_t kF32Lanes = 4;
+  using F32 = __m128;
+  using F64 = __m128d;
+
+  static F32 LoadF32(const float* p) { return _mm_loadu_ps(p); }
+  static void StoreF32(float* p, F32 v) { _mm_storeu_ps(p, v); }
+  static F64 LoadF64(const double* p) { return _mm_loadu_pd(p); }
+  static void StoreF64(double* p, F64 v) { _mm_storeu_pd(p, v); }
+  static F64 ZeroF64() { return _mm_setzero_pd(); }
+  static F64 Set1F64(double x) { return _mm_set1_pd(x); }
+  static F32 AddF32(F32 a, F32 b) { return _mm_add_ps(a, b); }
+  static F32 SubF32(F32 a, F32 b) { return _mm_sub_ps(a, b); }
+  static F64 AddF64(F64 a, F64 b) { return _mm_add_pd(a, b); }
+  static F64 SubF64(F64 a, F64 b) { return _mm_sub_pd(a, b); }
+  static F64 MulF64(F64 a, F64 b) { return _mm_mul_pd(a, b); }
+  static F64 MulAddF64(F64 a, F64 b, F64 acc) {
+    return _mm_add_pd(_mm_mul_pd(a, b), acc);
+  }
+  static F64 WidenLo(F32 v) { return _mm_cvtps_pd(v); }
+  static F64 WidenHi(F32 v) { return _mm_cvtps_pd(_mm_movehl_ps(v, v)); }
+  static F32 NarrowF32(F64 lo, F64 hi) {
+    return _mm_movelh_ps(_mm_cvtpd_ps(lo), _mm_cvtpd_ps(hi));
+  }
+  static double ReduceAddF64(F64 v) {
+    return _mm_cvtsd_f64(_mm_add_sd(v, _mm_unpackhi_pd(v, v)));
+  }
+};
+
+}  // namespace
+
+const Ops& Sse2Ops() {
+  static const Ops ops = VecKernels<Sse2>::Table("sse2");
+  return ops;
+}
+
+}  // namespace deepdirect::kernels::detail
+
+#endif  // x86

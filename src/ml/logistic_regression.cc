@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "kernels/kernels.h"
 #include "ml/matrix.h"
 #include "train/sgd_driver.h"
 
@@ -100,18 +101,12 @@ double LogisticRegression::Train(const Dataset& data,
     const double y = data.Label(i);
     const double sample_weight = data.Weight(i);
 
-    double score = A::Load(bias_);
-    for (size_t j = 0; j < weights_.size(); ++j) {
-      score += A::Load(weights_[j]) * x[j];
-    }
+    const double score = kernels::DotWeights<A>(A::Load(bias_), weights_, x);
     const double p = Sigmoid(score);
     // Gradient of weighted cross-entropy wrt score is weight * (p - y).
     const double gradient = sample_weight * (p - y);
 
-    for (size_t j = 0; j < weights_.size(); ++j) {
-      const double w = A::Load(weights_[j]);
-      A::Store(weights_[j], w - ctx.lr * (gradient * x[j] + config.l2 * w));
-    }
+    kernels::LogRegUpdate<A>(weights_, x, ctx.lr, gradient, config.l2);
     A::Store(bias_, A::Load(bias_) - ctx.lr * gradient);
 
     const double eps = 1e-12;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "kernels/sigmoid.h"
+
 namespace deepdirect::ml {
 
 void Matrix::FillUniform(util::Rng& rng, float lo, float hi) {
@@ -36,16 +38,14 @@ double Norm2(std::span<const float> a) {
   return std::sqrt(acc);
 }
 
-double Sigmoid(double x) {
-  if (x >= 0.0) {
-    const double z = std::exp(-x);
-    return 1.0 / (1.0 + z);
-  }
-  const double z = std::exp(x);
-  return z / (1.0 + z);
-}
+double Sigmoid(double x) { return kernels::Sigmoid(x); }
 
 double LogSigmoid(double x) {
+  // Clamp to the same ±kSigmoidClamp range as Sigmoid so the loss and its
+  // gradient saturate at the same point (extreme and infinite scores give
+  // finite, consistent values).
+  if (x > kernels::kSigmoidClamp) x = kernels::kSigmoidClamp;
+  if (x < -kernels::kSigmoidClamp) x = -kernels::kSigmoidClamp;
   // log(1/(1+e^-x)) = -log1p(e^-x) for x >= 0; x - log1p(e^x) otherwise.
   if (x >= 0.0) return -std::log1p(std::exp(-x));
   return x - std::log1p(std::exp(x));

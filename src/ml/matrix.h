@@ -72,10 +72,14 @@ void Axpy(double alpha, std::span<const float> x, std::span<float> y);
 /// Euclidean (L2) norm.
 double Norm2(std::span<const float> a);
 
-/// Numerically safe logistic sigmoid.
+/// Numerically safe logistic sigmoid, clamped to ±kernels::kSigmoidClamp
+/// (word2vec-style ±6) so extreme and infinite arguments saturate to
+/// σ(±6) instead of drifting toward 0/1 — consistent with the SIMD
+/// sigmoid lookup table's domain. NaN propagates.
 double Sigmoid(double x);
 
-/// log(sigmoid(x)) computed stably.
+/// log(sigmoid(x)) computed stably, clamped to the same ±6 range as
+/// Sigmoid (extreme arguments give the finite value at the clamp bound).
 double LogSigmoid(double x);
 
 }  // namespace deepdirect::ml

@@ -12,15 +12,18 @@
 //     float/double load/store compiles to a plain mov, so the policy costs
 //     nothing on the hot path.
 //
-// The span helpers mirror ml::Dot / ml::Axpy term-for-term (double
-// accumulation over float storage) so serial results match the historical
-// implementations exactly.
+// The span helpers are thin forwards into the kernel layer
+// (src/kernels/kernels.h), which dispatches each call between the exact
+// policy-scalar loops (bit-identical to ml::Dot / ml::Axpy) and the SIMD
+// ops table — see kernels/dispatch.h for the mode switch.
 
 #ifndef DEEPDIRECT_TRAIN_HOGWILD_H_
 #define DEEPDIRECT_TRAIN_HOGWILD_H_
 
 #include <atomic>
 #include <span>
+
+#include "kernels/kernels.h"
 
 namespace deepdirect::train {
 
@@ -52,27 +55,19 @@ struct HogwildAccess {
   }
 };
 
-/// Dot product of embedding rows under policy `A`; term-for-term identical
-/// to ml::Dot (double accumulation) when A = SerialAccess.
+/// Dot product of embedding rows under policy `A`; scalar dispatch is
+/// term-for-term identical to ml::Dot (double accumulation).
 template <typename A>
 inline double DotRows(std::span<const float> a, std::span<const float> b) {
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(A::Load(a[i])) *
-           static_cast<double>(A::Load(b[i]));
-  }
-  return acc;
+  return kernels::DotRows<A>(a, b);
 }
 
-/// y[i] += float(alpha · x[i]) under policy `A`; mirrors ml::Axpy.
+/// y[i] += float(alpha · x[i]) under policy `A`; scalar dispatch mirrors
+/// ml::Axpy.
 template <typename A>
-inline void AddScaled(std::span<float> y, double alpha,
-                      std::span<const float> x) {
-  for (size_t i = 0; i < y.size(); ++i) {
-    A::Store(y[i], A::Load(y[i]) + static_cast<float>(
-                                       alpha * static_cast<double>(
-                                                   A::Load(x[i]))));
-  }
+inline void AxpyRows(std::span<float> y, double alpha,
+                     std::span<const float> x) {
+  kernels::AxpyRows<A>(y, alpha, x);
 }
 
 }  // namespace deepdirect::train

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ml/dataset.h"
 #include "ml/logistic_regression.h"
@@ -57,18 +58,44 @@ TEST(SigmoidTest, ValuesAndStability) {
   EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
   EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
   EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-12);
-  // No overflow at extremes.
-  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
-  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(SigmoidTest, ClampsExtremeArgumentsToSigmoidOfSix) {
+  // Arguments beyond ±6 (the word2vec clamp range, shared with the SIMD
+  // sigmoid LUT) saturate to σ(±6) — including infinities.
+  const double at_clamp = 1.0 / (1.0 + std::exp(-6.0));
+  EXPECT_DOUBLE_EQ(Sigmoid(6.0), at_clamp);
+  EXPECT_DOUBLE_EQ(Sigmoid(7.0), at_clamp);
+  EXPECT_DOUBLE_EQ(Sigmoid(1000.0), at_clamp);
+  EXPECT_DOUBLE_EQ(Sigmoid(std::numeric_limits<double>::infinity()),
+                   at_clamp);
+  EXPECT_NEAR(Sigmoid(-6.0), 1.0 - at_clamp, 1e-15);
+  EXPECT_DOUBLE_EQ(Sigmoid(-1000.0), Sigmoid(-6.0));
+  EXPECT_DOUBLE_EQ(Sigmoid(-std::numeric_limits<double>::infinity()),
+                   Sigmoid(-6.0));
+  // Inside the clamp range nothing changes.
+  EXPECT_LT(Sigmoid(5.999), Sigmoid(6.0));
+  // NaN propagates rather than silently mapping to the bound.
+  EXPECT_TRUE(std::isnan(Sigmoid(std::nan(""))));
 }
 
 TEST(LogSigmoidTest, MatchesLogOfSigmoid) {
   for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
     EXPECT_NEAR(LogSigmoid(x), std::log(Sigmoid(x)), 1e-12);
   }
-  // Stable where log(sigmoid(x)) would underflow.
-  EXPECT_NEAR(LogSigmoid(-1000.0), -1000.0, 1e-9);
-  EXPECT_GT(LogSigmoid(-1000.0), -1.0e6);
+}
+
+TEST(LogSigmoidTest, ClampsConsistentlyWithSigmoid) {
+  // Same ±6 clamp as Sigmoid: extreme and infinite arguments give the
+  // finite value at the bound, and log∘σ stays consistent there.
+  EXPECT_NEAR(LogSigmoid(-1000.0), std::log(Sigmoid(-1000.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(LogSigmoid(-1000.0), LogSigmoid(-6.0));
+  EXPECT_DOUBLE_EQ(LogSigmoid(1000.0), LogSigmoid(6.0));
+  EXPECT_DOUBLE_EQ(LogSigmoid(-std::numeric_limits<double>::infinity()),
+                   LogSigmoid(-6.0));
+  EXPECT_DOUBLE_EQ(LogSigmoid(std::numeric_limits<double>::infinity()),
+                   LogSigmoid(6.0));
+  EXPECT_TRUE(std::isfinite(LogSigmoid(-1.0e308)));
 }
 
 // --------------------------------------------------------------- Dataset

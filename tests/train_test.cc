@@ -352,8 +352,8 @@ TEST(HogwildAccessTest, PoliciesAgreeOnRowHelpers) {
   EXPECT_EQ(serial, hogwild);
 
   std::vector<float> y1 = a, y2 = a;
-  AddScaled<SerialAccess>(y1, 0.3, b);
-  AddScaled<HogwildAccess>(y2, 0.3, b);
+  AxpyRows<SerialAccess>(y1, 0.3, b);
+  AxpyRows<HogwildAccess>(y2, 0.3, b);
   for (size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
 }
 
