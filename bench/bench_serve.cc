@@ -1,0 +1,273 @@
+// Serving-layer bench: batch d(u, v) throughput off the mmap'd servable
+// model versus the naive in-memory path, under a Zipf-skewed query stream
+// (social-tie traffic concentrates on a celebrity head, which is exactly
+// what the hot-tie cache exploits).
+//
+// Sweeps the Fig. 9 Tencent scales. At each scale it trains DeepDirect,
+// exports the DDS1 servable file, and drives one Zipf workload through
+// four paths: the naive per-query DeepDirectModel::Directionality, the
+// scalar ServableModel::Query, batched QueryBatch through the hot-tie
+// cache, and the batched path under concurrent reader threads.
+//
+// Timing rows (*_query_ns) carry machine-dependent latencies and are
+// skipped by the cross-machine gate (scripts/bench_compare.py
+// --skip-timing). The machine-independent gate rows:
+//   batch_vs_naive_speedup   "x"/none      informational ratio per scale
+//   batch_speedup_ge_5x      "bool"/higher batch ≥ 5× naive at the LARGEST
+//                                          scale — the acceptance gate
+//   zipf_cache_hit_rate      "fraction"/higher per scale
+//   cache_hit_rate_ge_half   "bool"/higher hit rate ≥ 0.5 at the largest
+//                                          scale
+//   batch_scalar_parity      "bool"/higher batch == scalar == naive,
+//                                          bit-exact, on the whole stream
+//   serve_offline_parity     "bool"/higher servable == in-memory model on
+//                                          every tie arc
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/deepdirect.h"
+#include "core/models.h"
+#include "core/tie_index.h"
+#include "data/datasets.h"
+#include "graph/algorithms.h"
+#include "serve/servable_model.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace deepdirect;
+
+/// Zipf(s=1) sampler over ranks [0, n): precomputes the CDF once, then
+/// inverts a uniform draw by binary search. Rank r is queried with
+/// probability ∝ 1/(r+1).
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(size_t n) : cdf_(n) {
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / static_cast<double>(r + 1);
+      cdf_[r] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Sample(util::Rng& rng) const {
+    const double u = rng.NextDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchSession session("serve");
+  std::printf("=== Serving layer: batch d(u,v) throughput ===\n\n");
+
+  const std::vector<double> scales =
+      bench::BenchFast() ? std::vector<double>{0.5, 1.0}
+                         : std::vector<double>{0.5, 1.0, 1.5, 2.0, 2.5};
+  const size_t reader_threads =
+      std::min<size_t>(4, std::max<size_t>(std::thread::hardware_concurrency(), 1));
+
+  auto csv = bench::OpenResultCsv("serve");
+  csv.WriteRow({"scale", "arcs", "queries", "naive_ns", "scalar_ns",
+                "batch_ns", "mt_batch_ns", "speedup", "hit_rate"});
+  util::TablePrinter table({"scale", "arcs", "naive_ns", "scalar_ns",
+                            "batch_ns", "mt_ns", "speedup", "hit_rate"});
+
+  core::DeepDirectConfig config =
+      core::MethodConfigs::FastDefaults().deepdirect;
+  config.num_threads = bench::BenchThreads();
+  config.d_step.num_threads = config.num_threads;
+
+  bool all_parity = true;
+  bool all_offline_parity = true;
+  double largest_speedup = 0.0;
+  double largest_hit_rate = 0.0;
+  for (double scale : scales) {
+    const auto net = data::MakeDataset(data::DatasetId::kTencent, scale);
+    util::Rng rng(55);
+    const auto split = graph::HideDirections(net, 0.2, rng);
+    const auto model = core::DeepDirectModel::Train(split.network, config);
+    const size_t num_arcs = model->index().num_arcs();
+
+    const std::string model_path =
+        bench::ResultDir() + "/serve_model.dds";
+    auto exported = model->ExportServable(model_path);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "error: %s\n", exported.ToString().c_str());
+      return session.Finish(1);
+    }
+    serve::ServeOptions options;
+    // Sized to half the arc set: the Zipf head fits with room while the
+    // cold tail still churns through eviction.
+    options.cache_capacity = std::max<size_t>(num_arcs / 2, 64);
+    auto opened = serve::ServableModel::Open(model_path, options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return session.Finish(1);
+    }
+    const serve::ServableModel& servable = opened.value();
+
+    // Offline parity: the servable answers must equal the in-memory model
+    // on every tie arc, bit for bit.
+    for (size_t e = 0; e < num_arcs; ++e) {
+      const auto [u, v] = model->index().ArcAt(e);
+      const auto got = servable.Query(u, v);
+      if (!got.ok() || got.value() != model->Directionality(u, v)) {
+        all_offline_parity = false;
+        break;
+      }
+    }
+
+    // Zipf workload: hot ranks map to arcs through a mixing stride so the
+    // popular head is scattered across the CSR instead of clustered.
+    const size_t num_queries =
+        std::clamp<size_t>(20 * num_arcs, 50'000, 400'000);
+    const ZipfSampler zipf(num_arcs);
+    util::Rng workload_rng(77);
+    std::vector<serve::TiePair> workload;
+    workload.reserve(num_queries);
+    const size_t stride = num_arcs / 2 + 1;  // coprime-ish scatter
+    for (size_t q = 0; q < num_queries; ++q) {
+      const size_t arc = (zipf.Sample(workload_rng) * stride) % num_arcs;
+      const auto [u, v] = model->index().ArcAt(arc);
+      workload.push_back({u, v});
+    }
+
+    // Path 1: naive — one virtual Directionality call per query on the
+    // in-memory model (feature copy + dot product each time).
+    util::Timer timer;
+    double naive_sink = 0.0;
+    for (const serve::TiePair& tie : workload) {
+      naive_sink += model->Directionality(tie.u, tie.v);
+    }
+    const double naive_ns =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(num_queries);
+
+    // Path 2: scalar serving — Query() per tie, warm cache from the parity
+    // sweep above plus its own inserts.
+    timer.Reset();
+    double scalar_sink = 0.0;
+    for (const serve::TiePair& tie : workload) {
+      scalar_sink += servable.Query(tie.u, tie.v).value();
+    }
+    const double scalar_ns =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(num_queries);
+
+    // Path 3: batched serving — the production path the gate measures.
+    std::vector<double> batch_out(workload.size(), 0.0);
+    const auto before = servable.CacheStats();
+    timer.Reset();
+    if (!servable.QueryBatch(workload, batch_out).ok()) {
+      return session.Finish(1);
+    }
+    const double batch_ns =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(num_queries);
+    const auto after = servable.CacheStats();
+    const double hit_rate =
+        static_cast<double>(after.hits - before.hits) /
+        static_cast<double>(num_queries);
+
+    // Parity across all three paths, bit for bit, on the whole stream.
+    double batch_sink = 0.0;
+    for (double value : batch_out) batch_sink += value;
+    size_t i = 0;
+    for (const serve::TiePair& tie : workload) {
+      const double expected = model->Directionality(tie.u, tie.v);
+      if (batch_out[i] != expected ||
+          servable.Query(tie.u, tie.v).value() != expected) {
+        all_parity = false;
+        break;
+      }
+      ++i;
+    }
+
+    // Path 4: concurrent batched readers over one shared model.
+    timer.Reset();
+    {
+      std::vector<std::thread> readers;
+      readers.reserve(reader_threads);
+      const size_t chunk =
+          (workload.size() + reader_threads - 1) / reader_threads;
+      for (size_t t = 0; t < reader_threads; ++t) {
+        readers.emplace_back([&, t] {
+          const size_t begin = std::min(t * chunk, workload.size());
+          const size_t end = std::min(begin + chunk, workload.size());
+          std::span<const serve::TiePair> part(workload.data() + begin,
+                                               end - begin);
+          std::span<double> out(batch_out.data() + begin, end - begin);
+          (void)servable.QueryBatch(part, out);
+        });
+      }
+      for (std::thread& reader : readers) reader.join();
+    }
+    const double mt_ns =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(num_queries);
+
+    const double speedup = naive_ns / batch_ns;
+    largest_speedup = speedup;      // scales ascend; the last one sticks
+    largest_hit_rate = hit_rate;
+    const std::string scale_label = util::TablePrinter::FormatDouble(scale, 1);
+    session.Add("naive_query_ns", "ns", "lower", naive_ns,
+                {{"scale", scale_label}});
+    session.Add("scalar_query_ns", "ns", "lower", scalar_ns,
+                {{"scale", scale_label}});
+    session.Add("batch_query_ns", "ns", "lower", batch_ns,
+                {{"scale", scale_label}});
+    session.Add("mt_batch_query_ns", "ns", "lower", mt_ns,
+                {{"scale", scale_label}});
+    session.Add("batch_vs_naive_speedup", "x", "none", speedup,
+                {{"scale", scale_label}});
+    session.Add("zipf_cache_hit_rate", "fraction", "higher", hit_rate,
+                {{"scale", scale_label}});
+    table.AddRow({scale_label, std::to_string(num_arcs),
+                  util::TablePrinter::FormatDouble(naive_ns, 0),
+                  util::TablePrinter::FormatDouble(scalar_ns, 0),
+                  util::TablePrinter::FormatDouble(batch_ns, 0),
+                  util::TablePrinter::FormatDouble(mt_ns, 0),
+                  util::TablePrinter::FormatDouble(speedup, 2),
+                  util::TablePrinter::FormatDouble(hit_rate, 3)});
+    csv.WriteRow({scale_label, std::to_string(num_arcs),
+                  std::to_string(num_queries),
+                  util::TablePrinter::FormatDouble(naive_ns, 1),
+                  util::TablePrinter::FormatDouble(scalar_ns, 1),
+                  util::TablePrinter::FormatDouble(batch_ns, 1),
+                  util::TablePrinter::FormatDouble(mt_ns, 1),
+                  util::TablePrinter::FormatDouble(speedup, 3),
+                  util::TablePrinter::FormatDouble(hit_rate, 4)});
+    // The sinks keep the timed loops from being optimized away.
+    if (naive_sink == -1.0 || scalar_sink == -1.0 || batch_sink == -1.0) {
+      std::printf("impossible\n");
+    }
+  }
+  table.Print();
+
+  // Machine-independent gates, evaluated at the largest swept scale.
+  session.Add("batch_speedup_ge_5x", "bool", "higher",
+              largest_speedup >= 5.0 ? 1.0 : 0.0);
+  session.Add("cache_hit_rate_ge_half", "bool", "higher",
+              largest_hit_rate >= 0.5 ? 1.0 : 0.0);
+  session.Add("batch_scalar_parity", "bool", "higher",
+              all_parity ? 1.0 : 0.0);
+  session.Add("serve_offline_parity", "bool", "higher",
+              all_offline_parity ? 1.0 : 0.0);
+  std::printf(
+      "\ngates: speedup %.2fx (>=5 required), hit rate %.3f (>=0.5), "
+      "parity %s/%s\n",
+      largest_speedup, largest_hit_rate, all_parity ? "ok" : "FAIL",
+      all_offline_parity ? "ok" : "FAIL");
+  return session.Finish(0);
+}

@@ -19,15 +19,23 @@
 //       Trains DeepDirect and exports the tie embedding matrix M
 //       (one row per closure arc: u, v, m_uv...).
 //
+//   tdl_cli serve --model model.dds [--cache N] [--ways N]
+//       Answers d(u, v) queries over stdin/stdout against a servable model
+//       exported with --save-model (accepted by discover, quantify, and
+//       embed when the method is deepdirect). See serve/server.h for the
+//       line protocol.
+//
 // Methods: deepdirect (default), hf, line, redirect-n, redirect-t.
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "core/applications.h"
+#include "core/deepdirect.h"
 #include "core/models.h"
 #include "data/datasets.h"
 #include "graph/algorithms.h"
@@ -36,6 +44,8 @@
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace_buffer.h"
+#include "serve/servable_model.h"
+#include "serve/server.h"
 #include "train/checkpoint.h"
 #include "util/csv_writer.h"
 #include "util/random.h"
@@ -54,6 +64,7 @@ int Usage() {
                " [--threads N]\n"
                "  tdl_cli embed    --input F --output F [--dims N]"
                " [--threads N]\n"
+               "  tdl_cli serve    --model F [--cache N] [--ways N]\n"
                "methods: deepdirect hf line redirect-n redirect-t\n"
                "datasets: twitter livejournal epinions slashdot tencent\n"
                "--threads: workers for graph loading, preprocessing, and"
@@ -76,6 +87,14 @@ int Usage() {
                " Chrome\n  trace_event JSON timeline to the given path (open"
                " in Perfetto or\n  chrome://tracing); accepted by every"
                " command\n"
+               "--save-model: after training (discover/quantify/embed with"
+               " the\n  deepdirect method), export the model in the"
+               " mmap-friendly servable\n  format `tdl_cli serve` consumes\n"
+               "serve: one request per stdin line — `u v [u v ...]` answers"
+               " one\n  d(u,v) per pair (NA for unknown ties), `stats` prints"
+               " cache counters,\n  `quit` exits; --cache sets the hot-tie"
+               " cache capacity in slots\n  (default 4096, 0 = off),"
+               " --ways its set associativity (default 8)\n"
                "--kernels: inner-loop dispatch — auto (default: SIMD when"
                " the CPU\n  supports it), scalar (bit-identical to the"
                " historical serial\n  trainers), or simd (force the"
@@ -203,6 +222,33 @@ std::optional<size_t> ThreadsFlag(
   return threads;
 }
 
+// Handles --save-model: exports `model` (which must be a DeepDirect model)
+// in the servable DDS1 format. Returns 0, or 1 after printing an error.
+int MaybeSaveModel(const std::map<std::string, std::string>& flags,
+                   const core::DirectionalityModel& model) {
+  if (!flags.contains("save-model")) return 0;
+  const std::string& path = flags.at("save-model");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --save-model expects a path\n");
+    return 1;
+  }
+  const auto* deepdirect =
+      dynamic_cast<const core::DeepDirectModel*>(&model);
+  if (deepdirect == nullptr) {
+    std::fprintf(stderr,
+                 "error: --save-model requires --method deepdirect (other "
+                 "methods have no servable form)\n");
+    return 1;
+  }
+  const auto status = deepdirect->ExportServable(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote servable model to %s\n", path.c_str());
+  return 0;
+}
+
 int RunDiscoverOrQuantify(const std::string& command,
                           const std::map<std::string, std::string>& flags) {
   const auto input_it = flags.find("input");
@@ -283,7 +329,7 @@ int RunDiscoverOrQuantify(const std::string& command,
     std::printf("quantified %zu bidirectional ties\n", count);
   }
   if (!output.empty()) std::printf("wrote %s\n", output.c_str());
-  return 0;
+  return MaybeSaveModel(flags, *model);
 }
 
 int RunEmbed(const std::map<std::string, std::string>& flags) {
@@ -339,6 +385,50 @@ int RunEmbed(const std::map<std::string, std::string>& flags) {
   }
   std::printf("wrote %zu tie-arc embeddings to %s\n",
               model->index().num_arcs(), output_it->second.c_str());
+  return MaybeSaveModel(flags, *model);
+}
+
+// Opens a servable model and answers queries over stdin/stdout until EOF
+// or "quit". Banners and the final summary go to stderr so stdout carries
+// nothing but protocol responses (scripted clients diff it directly).
+int RunServe(const std::map<std::string, std::string>& flags) {
+  const auto model_it = flags.find("model");
+  if (model_it == flags.end() || model_it->second.empty()) return Usage();
+  serve::ServeOptions options;
+  options.cache_capacity = 4096;
+  const auto size_flag = [&](const char* name, size_t* value) -> bool {
+    if (!flags.contains(name)) return true;
+    const auto parsed = ParseThreads(flags.at(name));
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "error: --%s expects a number, got '%s'\n", name,
+                   flags.at(name).c_str());
+      return false;
+    }
+    *value = *parsed;
+    return true;
+  };
+  if (!size_flag("cache", &options.cache_capacity) ||
+      !size_flag("ways", &options.cache_ways)) {
+    return 1;
+  }
+  auto opened = serve::ServableModel::Open(model_it->second, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const serve::ServableModel model = std::move(opened).value();
+  std::fprintf(stderr,
+               "serving %llu tie arcs over %llu nodes (l=%llu, cache %zu)\n",
+               static_cast<unsigned long long>(model.num_arcs()),
+               static_cast<unsigned long long>(model.num_nodes()),
+               static_cast<unsigned long long>(model.dimensions()),
+               options.cache_capacity);
+  const auto stats = serve::RunServeLoop(model, std::cin, std::cout);
+  std::fprintf(stderr,
+               "served %llu queries over %llu requests (%llu malformed)\n",
+               static_cast<unsigned long long>(stats.queries),
+               static_cast<unsigned long long>(stats.lines),
+               static_cast<unsigned long long>(stats.errors));
   return 0;
 }
 
@@ -365,6 +455,7 @@ int Dispatch(const std::string& command,
     return RunDiscoverOrQuantify(command, flags);
   }
   if (command == "embed") return RunEmbed(flags);
+  if (command == "serve") return RunServe(flags);
   return Usage();
 }
 

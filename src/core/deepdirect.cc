@@ -433,4 +433,15 @@ double DeepDirectModel::Directionality(NodeId u, NodeId v) const {
   return d_step_.Predict(features);
 }
 
+util::Result<double> DeepDirectModel::TryDirectionality(NodeId u,
+                                                        NodeId v) const {
+  if (u >= index_.num_nodes() ||
+      index_.TryIndexOf(u, v) == index_.num_arcs()) {
+    return util::Status::NotFound(
+        "no tie between " + std::to_string(u) + " and " + std::to_string(v) +
+        " in the training network");
+  }
+  return Directionality(u, v);
+}
+
 }  // namespace deepdirect::core

@@ -170,6 +170,14 @@ class DeepDirectModel : public DirectionalityModel {
   /// d(u, v) = σ(w·m_uv + b). The pair must host a tie of the training
   /// network.
   double Directionality(graph::NodeId u, graph::NodeId v) const override;
+
+  /// d(u, v) when the pair hosts a training tie; a structured NotFound
+  /// otherwise. Directionality() treats an unknown pair as a checked
+  /// programmer error (it has no way to report one); callers that take
+  /// pairs from outside the training network — the serving layer above
+  /// all — use this form and branch on the status.
+  util::Result<double> TryDirectionality(
+      graph::NodeId u, graph::NodeId v) const override;
   std::string name() const override { return "DeepDirect"; }
 
   /// The embedding matrix M (rows indexed by the TieIndex).
@@ -205,6 +213,14 @@ class DeepDirectModel : public DirectionalityModel {
   /// (validated by arc count); the tie index is rebuilt from it.
   static util::Result<std::unique_ptr<DeepDirectModel>> Load(
       const std::string& path, const graph::MixedSocialNetwork& g);
+
+  /// Writes the self-contained serving artifact ("DDS1",
+  /// core/servable_format.h): the CSR tie index, the embedding matrix M,
+  /// and the D-Step head, with 64-byte-aligned payloads so
+  /// serve::ServableModel::Open answers d(u, v) zero-copy off one mmap —
+  /// no training network needed at query time. Atomic like Save(); the
+  /// MLP head, when present, is not servable (FailedPrecondition).
+  util::Status ExportServable(const std::string& path) const;
 
  private:
   DeepDirectModel(TieIndex index, size_t dimensions)

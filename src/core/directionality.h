@@ -10,6 +10,7 @@
 #include <string>
 
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace deepdirect::core {
 
@@ -21,6 +22,19 @@ class DirectionalityModel {
   /// d(u, v): modeled probability the tie between u and v points u → v.
   /// Both nodes must be endpoints of a tie in the training network.
   virtual double Directionality(graph::NodeId u, graph::NodeId v) const = 0;
+
+  /// The fallible form of the unknown-tie contract: d(u, v) when the model
+  /// can evaluate the pair, a structured NotFound when the pair hosts no
+  /// training tie. The base default forwards to Directionality() — correct
+  /// for models whose d is defined on arbitrary pairs; models whose d
+  /// exists only on training ties (DeepDirect's per-arc embedding rows)
+  /// override this to report NotFound instead of tripping the
+  /// Directionality() precondition check. Serving layers query through
+  /// this entry point exclusively.
+  virtual util::Result<double> TryDirectionality(graph::NodeId u,
+                                                 graph::NodeId v) const {
+    return Directionality(u, v);
+  }
 
   /// Short method name for reports ("DeepDirect", "HF", "LINE", ...).
   virtual std::string name() const = 0;

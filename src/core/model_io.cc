@@ -1,25 +1,36 @@
-// Binary serialization of trained DeepDirect models.
+// Binary serialization of trained DeepDirect models — two artifacts:
 //
-// Built on the train/checkpoint.h container: magic "DDM2", CRC32-protected
-// sections, atomic temp+fsync+rename writes. A crash mid-save leaves the
-// previous file (or none) — never a truncated hybrid — and any truncation
-// or bit flip of a saved file is rejected by Load with a section-anchored
-// error instead of being half-accepted.
+// 1. Save/Load: the training-side round trip, built on the
+//    train/checkpoint.h container: magic "DDM2", CRC32-protected sections,
+//    atomic temp+fsync+rename writes. A crash mid-save leaves the previous
+//    file (or none) — never a truncated hybrid — and any truncation or bit
+//    flip of a saved file is rejected by Load with a section-anchored error
+//    instead of being half-accepted.
 //
-// Sections:
-//   meta        u64 num_arcs, u64 arc_hash (FNV-1a over the closure arc
-//               list), u64 dimensions
-//   embeddings  f32[num_arcs * dimensions], row-major matrix M
-//   d_step_w    f64[dimensions]          D-Step weights w
-//   d_step_b    f64                      D-Step bias b
-//   e_step_w    f64[dimensions]          E-Step weights w'
-//   e_step_b    f64                      E-Step bias b'
+//    Sections:
+//      meta        u64 num_arcs, u64 arc_hash (FNV-1a over the closure arc
+//                  list), u64 dimensions
+//      embeddings  f32[num_arcs * dimensions], row-major matrix M
+//      d_step_w    f64[dimensions]          D-Step weights w
+//      d_step_b    f64                      D-Step bias b
+//      e_step_w    f64[dimensions]          E-Step weights w'
+//      e_step_b    f64                      E-Step bias b'
+//
+// 2. ExportServable: the serving-side artifact ("DDS1",
+//    core/servable_format.h) — a self-contained, mmap-friendly container
+//    holding the directionality function alone (CSR tie index, matrix M,
+//    D-Step head), with every payload 64-byte aligned so
+//    serve::ServableModel::Open can answer d(u, v) zero-copy off the
+//    mapping without the training network or any deserialization pass.
+//    Written with the same atomic temp+fsync+rename primitive.
 
 #include <array>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "core/deepdirect.h"
+#include "core/servable_format.h"
 
 namespace deepdirect::core {
 
@@ -67,6 +78,86 @@ util::Status DeepDirectModel::Save(const std::string& path) const {
   writer.AddVector("e_step_w", e_step_weights_);
   writer.AddPod("e_step_b", e_step_bias_);
   return writer.WriteAtomic(path);
+}
+
+util::Status DeepDirectModel::ExportServable(const std::string& path) const {
+  if (mlp_head_.has_value()) {
+    return util::Status::FailedPrecondition(
+        "models with an MLP D-Step head are not servable");
+  }
+  namespace fmt = servable;
+
+  // Flatten the tie index into the CSR arrays the format stores. The
+  // public Neighbors()/Degree() views reproduce the index's own adjacency
+  // arena exactly (sorted destinations grouped by source).
+  const size_t num_nodes = index_.num_nodes();
+  const size_t num_arcs = index_.num_arcs();
+  std::vector<uint64_t> offsets(num_nodes + 1, 0);
+  std::vector<uint32_t> adj;
+  adj.reserve(num_arcs);
+  for (graph::NodeId u = 0; u < num_nodes; ++u) {
+    offsets[u + 1] = offsets[u] + index_.Degree(u);
+    for (graph::NodeId v : index_.Neighbors(u)) adj.push_back(v);
+  }
+
+  fmt::Meta meta{};
+  meta.num_nodes = num_nodes;
+  meta.num_arcs = num_arcs;
+  meta.dimensions = embeddings_.cols();
+  meta.arc_hash = HashIndex(index_);
+  const std::vector<double>& weights = d_step_.weights();
+  const double bias = d_step_.bias();
+
+  struct Payload {
+    const char* name;
+    const void* data;
+    uint64_t size;
+  };
+  const Payload payloads[fmt::kSectionCount] = {
+      {fmt::kSectionMeta, &meta, sizeof(meta)},
+      {fmt::kSectionOffsets, offsets.data(), offsets.size() * sizeof(uint64_t)},
+      {fmt::kSectionAdj, adj.data(), adj.size() * sizeof(uint32_t)},
+      {fmt::kSectionEmbeddings, embeddings_.data().data(),
+       embeddings_.data().size() * sizeof(float)},
+      {fmt::kSectionDStepW, weights.data(), weights.size() * sizeof(double)},
+      {fmt::kSectionDStepB, &bias, sizeof(bias)},
+  };
+
+  // Lay out: header, table, then each payload at the next aligned offset.
+  fmt::SectionEntry table[fmt::kSectionCount] = {};
+  uint64_t cursor =
+      sizeof(fmt::Header) + fmt::kSectionCount * sizeof(fmt::SectionEntry);
+  for (size_t s = 0; s < fmt::kSectionCount; ++s) {
+    cursor = fmt::AlignUp(cursor);
+    std::strncpy(table[s].name, payloads[s].name,
+                 fmt::kSectionNameSize - 1);
+    table[s].offset = cursor;
+    table[s].size = payloads[s].size;
+    table[s].crc = train::Crc32(payloads[s].data, payloads[s].size);
+    cursor += payloads[s].size;
+  }
+
+  fmt::Header header{};
+  std::memcpy(header.magic, fmt::kMagic.data(), fmt::kMagic.size());
+  header.version = fmt::kVersion;
+  header.section_count = fmt::kSectionCount;
+  header.file_size = cursor;
+
+  // Assemble the image zero-filled, so alignment gaps are zero bytes (the
+  // reader verifies this — every byte of the file is then covered by a
+  // check), then patch in the meta CRC over header + table.
+  std::string bytes(cursor, '\0');
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  std::memcpy(bytes.data() + sizeof(header), table, sizeof(table));
+  for (size_t s = 0; s < fmt::kSectionCount; ++s) {
+    std::memcpy(bytes.data() + table[s].offset, payloads[s].data,
+                payloads[s].size);
+  }
+  const uint32_t meta_crc = train::Crc32(
+      bytes.data(), sizeof(fmt::Header) + sizeof(table));
+  std::memcpy(bytes.data() + offsetof(fmt::Header, meta_crc), &meta_crc,
+              sizeof(meta_crc));
+  return train::AtomicWriteFile(path, bytes);
 }
 
 util::Result<std::unique_ptr<DeepDirectModel>> DeepDirectModel::Load(

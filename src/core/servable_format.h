@@ -1,0 +1,121 @@
+// On-disk layout of the servable DeepDirect model ("DDS1").
+//
+// The training-side container (train/checkpoint.h, magic "DDM2") streams
+// length-prefixed sections back to back, which is ideal for atomic
+// checkpoint writes but hostile to memory-mapping: payload offsets are
+// unaligned and only discoverable by walking the whole file. The serving
+// layer instead uses this layout, designed to be consumed zero-copy
+// through one mmap:
+//
+//   Header (32 bytes)            magic "DDS1", version, section count,
+//                                total file size, meta CRC
+//   SectionEntry × section_count fixed 40-byte table rows: NUL-padded
+//                                name, absolute payload offset, payload
+//                                size, payload CRC32
+//   payloads                     each 64-byte aligned, in table order;
+//                                gaps between payloads are zero bytes
+//
+// Every byte of the file is accounted for: the header and table are
+// covered by `meta_crc` (computed with the field itself zeroed), every
+// payload by its table row's CRC32, and alignment padding must read as
+// zeros. A reader that validates all three rejects any truncation or
+// single-byte corruption with a structured error — the contract
+// tests/serve_test.cc sweeps exhaustively.
+//
+// 64-byte payload alignment means a page-aligned mmap base makes every
+// section pointer naturally aligned for its element type (f32 embedding
+// rows, f64 weights, u64 CSR offsets), so the serving runtime reads the
+// mapping in place — no deserialization pass, no copies, file pages are
+// faulted in on first touch and shared between processes serving the same
+// model.
+//
+// Section inventory (all required, no others permitted):
+//   meta         servable::Meta — node/arc counts, embedding width, and
+//                the FNV-1a arc hash of the training tie index
+//   offsets      u64[num_nodes + 1] — CSR row starts into `adj`
+//   adj          u32[num_arcs] — sorted closure-arc destinations; the arc
+//                (u, v) has index offsets[u] + rank of v in u's row, the
+//                same dense indexing core/tie_index.h defines
+//   embeddings   f32[num_arcs × dimensions] — row-major matrix M
+//   dstep_w      f64[dimensions] — D-Step weights w (Eq. 26)
+//   dstep_b      f64 — D-Step bias b
+//
+// Writer: DeepDirectModel::ExportServable (core/model_io.cc).
+// Reader: serve::ServableModel::Open (serve/servable_model.cc).
+
+#ifndef DEEPDIRECT_CORE_SERVABLE_FORMAT_H_
+#define DEEPDIRECT_CORE_SERVABLE_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace deepdirect::core::servable {
+
+inline constexpr std::array<char, 4> kMagic{'D', 'D', 'S', '1'};
+inline constexpr uint32_t kVersion = 1;
+
+/// Payload alignment. 64 covers every element type the format carries and
+/// matches the cache-line size the rest of the repo assumes.
+inline constexpr uint64_t kAlignment = 64;
+
+/// Fixed-width section names (NUL-padded).
+inline constexpr size_t kSectionNameSize = 16;
+
+/// File header. `meta_crc` is the CRC32 (train::Crc32) over the header
+/// bytes with this field zeroed, followed by the full section table.
+struct Header {
+  char magic[4];
+  uint32_t version;
+  uint64_t section_count;
+  uint64_t file_size;  ///< must equal the on-disk size exactly
+  uint32_t meta_crc;
+  uint32_t reserved;   ///< must be zero
+};
+static_assert(sizeof(Header) == 32);
+
+/// One section-table row. `offset` is absolute from the file start and
+/// kAlignment-aligned; `crc` is the CRC32 of the payload bytes.
+struct SectionEntry {
+  char name[kSectionNameSize];  ///< NUL-padded, NUL-terminated
+  uint64_t offset;
+  uint64_t size;
+  uint32_t crc;
+  uint32_t reserved;  ///< must be zero
+};
+static_assert(sizeof(SectionEntry) == 40);
+
+/// Payload of the "meta" section.
+struct Meta {
+  uint64_t num_nodes;
+  uint64_t num_arcs;
+  uint64_t dimensions;
+  /// FNV-1a over the closure arc endpoints (the same hash DDM2 stores):
+  /// identifies the training network the CSR index was derived from.
+  uint64_t arc_hash;
+};
+static_assert(sizeof(Meta) == 32);
+
+inline constexpr char kSectionMeta[] = "meta";
+inline constexpr char kSectionOffsets[] = "offsets";
+inline constexpr char kSectionAdj[] = "adj";
+inline constexpr char kSectionEmbeddings[] = "embeddings";
+inline constexpr char kSectionDStepW[] = "dstep_w";
+inline constexpr char kSectionDStepB[] = "dstep_b";
+
+/// The required section order (also the payload order in the file).
+inline constexpr const char* kSectionOrder[] = {
+    kSectionMeta,       kSectionOffsets, kSectionAdj,
+    kSectionEmbeddings, kSectionDStepW,  kSectionDStepB,
+};
+inline constexpr uint64_t kSectionCount =
+    sizeof(kSectionOrder) / sizeof(kSectionOrder[0]);
+
+/// Rounds `n` up to the next kAlignment boundary.
+inline constexpr uint64_t AlignUp(uint64_t n) {
+  return (n + kAlignment - 1) & ~(kAlignment - 1);
+}
+
+}  // namespace deepdirect::core::servable
+
+#endif  // DEEPDIRECT_CORE_SERVABLE_FORMAT_H_

@@ -1,0 +1,53 @@
+#include "serve/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace deepdirect::serve {
+
+util::Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return util::Status::IOError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IOError("cannot stat " + path + ": " + error);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MmapFile(nullptr, 0);
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The descriptor is only needed to establish the mapping.
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return util::Status::IOError("cannot mmap " + path + ": " +
+                                 std::strerror(errno));
+  }
+  return MmapFile(data, size);
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace deepdirect::serve

@@ -1,0 +1,50 @@
+// Read-only memory-mapped file, the zero-copy substrate of the serving
+// layer. Open() maps the whole file PROT_READ/MAP_PRIVATE; the mapping
+// lives as long as the object, pages fault in on first touch, and the
+// kernel shares clean pages between processes mapping the same model file.
+
+#ifndef DEEPDIRECT_SERVE_MMAP_FILE_H_
+#define DEEPDIRECT_SERVE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace deepdirect::serve {
+
+/// An immutable byte view backed by mmap. Move-only; unmaps on
+/// destruction. A default-constructed instance views zero bytes.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Unreadable or unstat-able files yield IOError;
+  /// an empty file maps to a valid zero-length view.
+  static util::Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const void* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view bytes() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+
+ private:
+  MmapFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace deepdirect::serve
+
+#endif  // DEEPDIRECT_SERVE_MMAP_FILE_H_

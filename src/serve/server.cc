@@ -1,0 +1,124 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace deepdirect::serve {
+
+namespace {
+
+/// Strict non-negative base-10 parse that fits a NodeId.
+std::optional<graph::NodeId> ParseNodeId(const std::string& token) {
+  if (token.empty() || token.size() > 10) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (value > 0xffffffffULL) return std::nullopt;
+  return static_cast<graph::NodeId>(value);
+}
+
+void WriteValues(const std::vector<double>& values, std::ostream& out) {
+  char buffer[32];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out << ' ';
+    if (std::isnan(values[i])) {
+      out << "NA";
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%.6f", values[i]);
+      out << buffer;
+    }
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+ServeLoopStats RunServeLoop(const ServableModel& model, std::istream& in,
+                            std::ostream& out) {
+  using Clock = std::chrono::steady_clock;
+  obs::Histogram* query_seconds =
+      obs::Registry::Default().GetHistogram("serve.query.seconds");
+
+  ServeLoopStats stats;
+  std::string line;
+  std::vector<TiePair> ties;
+  std::vector<double> values;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string token;
+    ties.clear();
+    graph::NodeId pending = 0;
+    bool have_pending = false;
+    bool malformed = false;
+    size_t token_count = 0;
+    while (tokens >> token) {
+      ++token_count;
+      if (token_count == 1 && (token == "quit" || token == "stats")) break;
+      const auto id = ParseNodeId(token);
+      if (!id.has_value()) {
+        malformed = true;
+        break;
+      }
+      if (have_pending) {
+        ties.push_back({pending, *id});
+        have_pending = false;
+      } else {
+        pending = *id;
+        have_pending = true;
+      }
+    }
+    if (token_count == 0) continue;  // blank line
+    ++stats.lines;
+
+    if (token_count == 1 && token == "quit") break;
+    if (token_count == 1 && token == "stats") {
+      const TieCacheStats cache = model.CacheStats();
+      out << "stats hits=" << cache.hits << " misses=" << cache.misses
+          << " evictions=" << cache.evictions
+          << " capacity=" << cache.capacity << '\n';
+      out.flush();
+      continue;
+    }
+    if (malformed) {
+      ++stats.errors;
+      out << "ERR parse: token '" << token
+          << "' is not a node id (expected pairs of node ids, 'stats', or "
+             "'quit')\n";
+      out.flush();
+      continue;
+    }
+    if (have_pending) {
+      ++stats.errors;
+      out << "ERR parse: odd token count (queries are u v pairs)\n";
+      out.flush();
+      continue;
+    }
+
+    values.assign(ties.size(), 0.0);
+    const Clock::time_point start = Clock::now();
+    // kNan cannot fail for span-matched inputs; unknown pairs become NA.
+    model.QueryBatch(ties, values, MissingPolicy::kNan);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (obs::Enabled() && !ties.empty()) {
+      // One observation per request line, of the mean per-query latency,
+      // keeps histogram cost independent of batch size.
+      query_seconds->Observe(elapsed / static_cast<double>(ties.size()));
+    }
+    stats.queries += ties.size();
+    WriteValues(values, out);
+    out.flush();
+  }
+  return stats;
+}
+
+}  // namespace deepdirect::serve

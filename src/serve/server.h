@@ -1,0 +1,44 @@
+// Line-oriented serving loop: the protocol behind `tdl_cli serve`.
+//
+// One request per line, whitespace-separated tokens:
+//   u1 v1 [u2 v2 ...]   query d(u, v) for each pair; the response line
+//                       carries one value per pair, "%.6f"-formatted (the
+//                       same rendering the quantify CSV uses, so offline
+//                       and served predictions diff byte-for-byte), or
+//                       "NA" for a pair with no tie in the network
+//   stats               one line of cache counters
+//                       (hits= misses= evictions= capacity=)
+//   quit                end the loop
+// Anything else answers "ERR ..." and the loop continues — a malformed
+// request never kills the server.
+//
+// Each request line is timed; per-query latency lands in the
+// serve.query.seconds histogram (surfaced by tdl_cli --metrics-out)
+// alongside the serve.queries counter and serve.batch.size histogram the
+// model records.
+
+#ifndef DEEPDIRECT_SERVE_SERVER_H_
+#define DEEPDIRECT_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "serve/servable_model.h"
+
+namespace deepdirect::serve {
+
+/// What a serve loop processed, for callers that report a summary.
+struct ServeLoopStats {
+  uint64_t lines = 0;    ///< request lines handled (excluding blank lines)
+  uint64_t queries = 0;  ///< tie pairs answered (including NA)
+  uint64_t errors = 0;   ///< malformed request lines
+};
+
+/// Reads requests from `in` until EOF or "quit", answering on `out`.
+ServeLoopStats RunServeLoop(const ServableModel& model, std::istream& in,
+                            std::ostream& out);
+
+}  // namespace deepdirect::serve
+
+#endif  // DEEPDIRECT_SERVE_SERVER_H_

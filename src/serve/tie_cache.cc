@@ -1,0 +1,103 @@
+#include "serve/tie_cache.h"
+
+#include <algorithm>
+
+namespace deepdirect::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedTieCache::ShardedTieCache(size_t capacity, size_t ways) {
+  auto& registry = obs::Registry::Default();
+  obs_hits_ = registry.GetCounter("serve.cache.hits");
+  obs_misses_ = registry.GetCounter("serve.cache.misses");
+  obs_evictions_ = registry.GetCounter("serve.cache.evictions");
+  if (capacity == 0) return;
+  ways_ = std::clamp<size_t>(ways, 1, capacity);
+  const size_t num_sets = RoundUpPow2((capacity + ways_ - 1) / ways_);
+  set_mask_ = num_sets - 1;
+  const size_t total = num_sets * ways_;
+  keys_ = std::vector<std::atomic<uint64_t>>(total);
+  values_ = std::vector<std::atomic<double>>(total);
+  versions_ = std::vector<std::atomic<uint32_t>>(total);
+  refs_ = std::vector<std::atomic<uint8_t>>(total);
+  hands_ = std::vector<std::atomic<uint32_t>>(num_sets);
+  for (auto& key : keys_) key.store(kEmptyKey, std::memory_order_relaxed);
+}
+
+void ShardedTieCache::Insert(uint64_t key, double value) const {
+  if (!enabled() || key == kEmptyKey) return;
+  const size_t base = SetBase(key);
+
+  // Already resident (possibly racing with our own miss): nothing to do —
+  // the resident value is identical by purity. Otherwise prefer the first
+  // never-written way.
+  size_t victim = base;
+  bool found = false;
+  for (size_t w = base; w < base + ways_; ++w) {
+    const uint64_t resident = keys_[w].load(std::memory_order_relaxed);
+    if (resident == key) return;
+    if (resident == kEmptyKey && !found) {
+      victim = w;
+      found = true;
+    }
+  }
+
+  // Full set: advance the clock hand, sparing recently referenced ways
+  // (second-chance LRU within the set).
+  const bool evicting = !found;
+  if (!found) {
+    std::atomic<uint32_t>& hand = hands_[base / ways_];
+    for (size_t step = 0; step < 2 * ways_ && !found; ++step) {
+      const size_t w =
+          base + hand.fetch_add(1, std::memory_order_relaxed) % ways_;
+      uint8_t referenced = 1;
+      if (refs_[w].compare_exchange_strong(referenced, 0,
+                                           std::memory_order_relaxed)) {
+        continue;  // spared: clear the bit, move on
+      }
+      victim = w;
+      found = true;
+    }
+    if (!found) victim = base;  // all ways stayed hot
+  }
+
+  // Claim the way's seqlock with one CAS; a lost race or a concurrent
+  // writer means someone else is filling this set right now — skip.
+  uint32_t version = versions_[victim].load(std::memory_order_relaxed);
+  if (version & 1u) return;
+  if (!versions_[victim].compare_exchange_strong(version, version + 1,
+                                                 std::memory_order_acq_rel)) {
+    return;
+  }
+  keys_[victim].store(key, std::memory_order_relaxed);
+  values_[victim].store(value, std::memory_order_relaxed);
+  // Fresh entries start unreferenced: they must earn a hit to survive the
+  // clock, so a scan of cold keys cannot flush the hot head.
+  refs_[victim].store(0, std::memory_order_relaxed);
+  versions_[victim].store(version + 2, std::memory_order_release);
+  if (evicting) {
+    Bump(Stripe().evictions);
+    if (obs::Enabled()) obs_evictions_->Add();
+  }
+}
+
+TieCacheStats ShardedTieCache::Stats() const {
+  TieCacheStats stats;
+  stats.capacity = keys_.size();
+  for (const StatCell& cell : stripes_) {
+    stats.hits += cell.hits.load(std::memory_order_relaxed);
+    stats.misses += cell.misses.load(std::memory_order_relaxed);
+    stats.evictions += cell.evictions.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace deepdirect::serve

@@ -1,0 +1,469 @@
+// Tests for the serving layer: DDS1 export/open, golden parity against the
+// in-memory model, the hot-tie cache, fault injection over the servable
+// file, the unknown-tie contract, the serve-loop protocol, and concurrent
+// readers (the *Concurrent* test runs under TSan via
+// scripts/check_sanitizers.sh).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deepdirect.h"
+#include "core/servable_format.h"
+#include "data/generators.h"
+#include "graph/algorithms.h"
+#include "serve/servable_model.h"
+#include "serve/server.h"
+#include "util/random.h"
+
+namespace deepdirect::serve {
+namespace {
+
+namespace fmt = core::servable;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A trained model, its exported servable file, and the file's raw bytes.
+struct Exported {
+  std::unique_ptr<core::DeepDirectModel> model;
+  std::string path;
+  std::string bytes;
+};
+
+Exported Train(size_t num_nodes, size_t dimensions, double epochs,
+               const std::string& path, uint64_t seed = 5) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = num_nodes;
+  gen.ties_per_node = 3.5;
+  gen.seed = seed;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(seed + 1);
+  const auto split = graph::HideDirections(net, 0.4, rng);
+  core::DeepDirectConfig config;
+  config.dimensions = dimensions;
+  config.epochs = epochs;
+  Exported out;
+  out.model = core::DeepDirectModel::Train(split.network, config);
+  out.path = path;
+  EXPECT_TRUE(out.model->ExportServable(path).ok());
+  out.bytes = ReadFile(path);
+  return out;
+}
+
+/// The parity fixture: trained once per process, shared by every test that
+/// only reads it.
+const Exported& Parity() {
+  static const Exported* cached =
+      new Exported(Train(120, 8, 2.0, "/tmp/deepdirect_serve_parity.dds"));
+  return *cached;
+}
+
+/// A deliberately tiny second model so the every-byte fault-injection
+/// sweeps stay fast even under sanitizers.
+const Exported& Tiny() {
+  static const Exported* cached =
+      new Exported(Train(60, 4, 1.0, "/tmp/deepdirect_serve_tiny.dds", 11));
+  return *cached;
+}
+
+std::vector<TiePair> AllTies(const core::DeepDirectModel& model) {
+  std::vector<TiePair> ties;
+  ties.reserve(model.index().num_arcs());
+  for (size_t e = 0; e < model.index().num_arcs(); ++e) {
+    const auto [u, v] = model.index().ArcAt(e);
+    ties.push_back({u, v});
+  }
+  return ties;
+}
+
+/// A pair of in-range nodes with no closure arc between them.
+TiePair UnknownTie(const core::DeepDirectModel& model) {
+  const auto& index = model.index();
+  for (graph::NodeId u = 0; u < index.num_nodes(); ++u) {
+    for (graph::NodeId v = 0; v < index.num_nodes(); ++v) {
+      if (u != v && index.TryIndexOf(u, v) == index.num_arcs()) {
+        return {u, v};
+      }
+    }
+  }
+  ADD_FAILURE() << "fixture network is a complete digraph";
+  return {0, 0};
+}
+
+TEST(ServableModelTest, OpenReadsBackTheModelShape) {
+  const Exported& fixture = Parity();
+  auto opened = ServableModel::Open(fixture.path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ServableModel& servable = opened.value();
+  EXPECT_EQ(servable.num_nodes(), fixture.model->index().num_nodes());
+  EXPECT_EQ(servable.num_arcs(), fixture.model->index().num_arcs());
+  EXPECT_EQ(servable.dimensions(), fixture.model->embeddings().cols());
+  // No temp file left behind by the atomic export.
+  std::ifstream tmp(fixture.path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind";
+}
+
+TEST(ServableModelTest, RawLayoutIsCanonical) {
+  // Pin the on-disk invariants the mmap reader relies on: magic, exact
+  // file size in the header, and 64-byte alignment of every payload.
+  const std::string& bytes = Parity().bytes;
+  ASSERT_GE(bytes.size(), sizeof(fmt::Header));
+  fmt::Header header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  EXPECT_EQ(std::memcmp(header.magic, fmt::kMagic.data(), 4), 0);
+  EXPECT_EQ(header.version, fmt::kVersion);
+  EXPECT_EQ(header.section_count, fmt::kSectionCount);
+  EXPECT_EQ(header.file_size, bytes.size());
+  for (uint64_t s = 0; s < fmt::kSectionCount; ++s) {
+    fmt::SectionEntry entry;
+    std::memcpy(&entry, bytes.data() + sizeof(fmt::Header) +
+                            s * sizeof(fmt::SectionEntry),
+                sizeof(entry));
+    EXPECT_STREQ(entry.name, fmt::kSectionOrder[s]);
+    EXPECT_EQ(entry.offset % fmt::kAlignment, 0u)
+        << "section " << entry.name << " is misaligned";
+  }
+}
+
+TEST(ServableModelTest, GoldenParityScalarEveryTie) {
+  const Exported& fixture = Parity();
+  auto opened = ServableModel::Open(fixture.path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ServableModel& servable = opened.value();
+  for (const TiePair& tie : AllTies(*fixture.model)) {
+    const auto got = servable.Query(tie.u, tie.v);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Exact: the servable scorer replicates the in-memory accumulation
+    // bit for bit, not approximately.
+    EXPECT_EQ(got.value(), fixture.model->Directionality(tie.u, tie.v))
+        << "tie (" << tie.u << ", " << tie.v << ")";
+  }
+}
+
+TEST(ServableModelTest, GoldenParityBatchColdWarmAndEvicting) {
+  const Exported& fixture = Parity();
+  const std::vector<TiePair> ties = AllTies(*fixture.model);
+  std::vector<double> expected;
+  expected.reserve(ties.size());
+  for (const TiePair& tie : ties) {
+    expected.push_back(fixture.model->Directionality(tie.u, tie.v));
+  }
+
+  // Three cache regimes: disabled, all-hits after warmup, and constantly
+  // evicting. The answers must be identical in all of them.
+  for (const size_t capacity : {size_t{0}, ties.size(), size_t{8}}) {
+    ServeOptions options;
+    options.cache_capacity = capacity;
+    auto opened = ServableModel::Open(fixture.path, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    const ServableModel& servable = opened.value();
+    std::vector<double> got(ties.size(), 0.0);
+    for (int pass = 0; pass < 2; ++pass) {
+      ASSERT_TRUE(servable.QueryBatch(ties, got).ok());
+      for (size_t i = 0; i < ties.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "capacity " << capacity << " pass " << pass << " tie ("
+            << ties[i].u << ", " << ties[i].v << ")";
+      }
+    }
+  }
+}
+
+TEST(ServableModelTest, CacheCountersTrackColdWarmEvicting) {
+  const Exported& fixture = Parity();
+  const std::vector<TiePair> ties = AllTies(*fixture.model);
+  std::vector<double> out(ties.size(), 0.0);
+
+  // Roomy cache (8 slots per tie, so set-conflict evictions are
+  // vanishingly unlikely): the first pass is all misses, the second all
+  // hits.
+  ServeOptions roomy;
+  roomy.cache_capacity = 8 * ties.size();
+  auto opened = ServableModel::Open(fixture.path, roomy);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened.value().QueryBatch(ties, out).ok());
+  TieCacheStats stats = opened.value().CacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, ties.size());
+  EXPECT_EQ(stats.evictions, 0u);
+  ASSERT_TRUE(opened.value().QueryBatch(ties, out).ok());
+  stats = opened.value().CacheStats();
+  EXPECT_EQ(stats.hits, ties.size());
+  EXPECT_EQ(stats.misses, ties.size());
+  EXPECT_EQ(stats.evictions, 0u);
+
+  // Tiny cache: a sweep larger than capacity must evict.
+  ServeOptions tiny;
+  tiny.cache_capacity = 8;
+  auto evicting = ServableModel::Open(fixture.path, tiny);
+  ASSERT_TRUE(evicting.ok());
+  ASSERT_TRUE(evicting.value().QueryBatch(ties, out).ok());
+  ASSERT_TRUE(evicting.value().QueryBatch(ties, out).ok());
+  stats = evicting.value().CacheStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GE(stats.capacity, 8u);
+
+  // Disabled cache: nothing is counted at all.
+  ServeOptions off;
+  off.cache_capacity = 0;
+  auto disabled = ServableModel::Open(fixture.path, off);
+  ASSERT_TRUE(disabled.ok());
+  ASSERT_TRUE(disabled.value().QueryBatch(ties, out).ok());
+  stats = disabled.value().CacheStats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.evictions, 0u);
+  EXPECT_EQ(stats.capacity, 0u);
+}
+
+TEST(ServableModelTest, LruEvictsColdKeysKeepsHotKeys) {
+  // Direct cache-policy check on one full 4-way set: a key that was hit
+  // since insertion is spared by the second-chance clock, and the first
+  // never-referenced key is the one evicted.
+  ShardedTieCache cache(/*capacity=*/4, /*ways=*/4);
+  cache.Insert(1, 0.1);
+  cache.Insert(2, 0.2);
+  cache.Insert(3, 0.3);
+  cache.Insert(4, 0.4);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, &value));  // marks key 1 recently used
+  cache.Insert(5, 0.5);  // spares 1 (referenced), evicts 2 (cold)
+  EXPECT_TRUE(cache.Lookup(1, &value));
+  EXPECT_EQ(value, 0.1);
+  EXPECT_FALSE(cache.Lookup(2, &value));
+  EXPECT_TRUE(cache.Lookup(3, &value));
+  EXPECT_TRUE(cache.Lookup(4, &value));
+  EXPECT_TRUE(cache.Lookup(5, &value));
+  EXPECT_EQ(value, 0.5);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(ServableModelTest, UnknownTieContract) {
+  const Exported& fixture = Parity();
+  auto opened = ServableModel::Open(fixture.path);
+  ASSERT_TRUE(opened.ok());
+  const ServableModel& servable = opened.value();
+  const TiePair unknown = UnknownTie(*fixture.model);
+
+  // Scalar: a typed not-found, in range or out of range.
+  EXPECT_EQ(servable.Query(unknown.u, unknown.v).status().code(),
+            util::StatusCode::kNotFound);
+  const auto out_of_range =
+      servable.Query(static_cast<graph::NodeId>(servable.num_nodes()) + 7, 0);
+  EXPECT_EQ(out_of_range.status().code(), util::StatusCode::kNotFound);
+
+  // Batch under kError: the batch fails, naming the offending item.
+  const TiePair known = AllTies(*fixture.model).front();
+  const std::vector<TiePair> ties = {known, unknown, known};
+  std::vector<double> out(ties.size(), 0.0);
+  const auto failed = servable.QueryBatch(ties, out, MissingPolicy::kError);
+  EXPECT_EQ(failed.code(), util::StatusCode::kNotFound);
+
+  // Batch under kNan: the unknown slot is NaN, the known slots exact.
+  ASSERT_TRUE(servable.QueryBatch(ties, out, MissingPolicy::kNan).ok());
+  const double expected = fixture.model->Directionality(known.u, known.v);
+  EXPECT_EQ(out[0], expected);
+  EXPECT_TRUE(std::isnan(out[1]));
+  EXPECT_EQ(out[2], expected);
+
+  // Mismatched spans are a typed error, not a crash.
+  std::vector<double> short_out(1, 0.0);
+  EXPECT_EQ(servable.QueryBatch(ties, short_out).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(ServableModelTest, TryDirectionalityMatchesTheServingContract) {
+  // The in-memory model exposes the same typed unknown-tie contract the
+  // serving path has, instead of undefined behavior on a bad pair.
+  const Exported& fixture = Parity();
+  const core::DeepDirectModel& model = *fixture.model;
+  const TiePair known = AllTies(model).front();
+  const auto ok = model.TryDirectionality(known.u, known.v);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), model.Directionality(known.u, known.v));
+
+  const TiePair unknown = UnknownTie(model);
+  EXPECT_EQ(model.TryDirectionality(unknown.u, unknown.v).status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(model
+                .TryDirectionality(
+                    static_cast<graph::NodeId>(model.index().num_nodes()), 0)
+                .status()
+                .code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(ServableModelTest, MissingFileReportsIOError) {
+  auto opened = ServableModel::Open("/nonexistent/model.dds");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), util::StatusCode::kIOError);
+}
+
+TEST(ServableModelTest, MlpHeadIsNotServable) {
+  data::GeneratorConfig gen;
+  gen.num_nodes = 60;
+  gen.ties_per_node = 3.5;
+  gen.seed = 3;
+  const auto net = data::GenerateStatusNetwork(gen);
+  util::Rng rng(4);
+  const auto split = graph::HideDirections(net, 0.4, rng);
+  core::DeepDirectConfig config;
+  config.dimensions = 4;
+  config.epochs = 1.0;
+  config.d_step_head = core::DStepHead::kMlp;
+  const auto model = core::DeepDirectModel::Train(split.network, config);
+  const auto status = model->ExportServable("/tmp/deepdirect_serve_mlp.dds");
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ServableModelTest, TruncationSweepEveryLengthNeverOpens) {
+  // A servable file cut after ANY byte count must be rejected cleanly.
+  const Exported& fixture = Tiny();
+  const std::string path = "/tmp/deepdirect_serve_trunc.dds";
+  ASSERT_GT(fixture.bytes.size(), 0u);
+  for (size_t cut = 0; cut < fixture.bytes.size(); ++cut) {
+    WriteFile(path, fixture.bytes.substr(0, cut));
+    auto opened = ServableModel::Open(path);
+    ASSERT_FALSE(opened.ok()) << "prefix of " << cut << " bytes opened";
+    ASSERT_EQ(opened.status().code(), util::StatusCode::kInvalidArgument)
+        << "prefix of " << cut << ": " << opened.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServableModelTest, CorruptionSweepEveryByteNeverOpens) {
+  // Flip every single byte of the file in turn: each flip must be caught
+  // by the meta CRC (header/table), a section CRC (payloads), or the
+  // zero-padding check (alignment gaps) — no byte is uncovered.
+  const Exported& fixture = Tiny();
+  const std::string path = "/tmp/deepdirect_serve_flip.dds";
+  for (size_t k = 0; k < fixture.bytes.size(); ++k) {
+    std::string corrupted = fixture.bytes;
+    corrupted[k] = static_cast<char>(corrupted[k] ^ 0x5A);
+    WriteFile(path, corrupted);
+    auto opened = ServableModel::Open(path);
+    ASSERT_FALSE(opened.ok()) << "flip at byte " << k << " opened";
+    ASSERT_EQ(opened.status().code(), util::StatusCode::kInvalidArgument)
+        << "flip at byte " << k << ": " << opened.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeLoopTest, ProtocolAnswersMatchesAndSurvivesGarbage) {
+  const Exported& fixture = Parity();
+  auto opened = ServableModel::Open(fixture.path);
+  ASSERT_TRUE(opened.ok());
+  const ServableModel& servable = opened.value();
+  const TiePair known = AllTies(*fixture.model).front();
+  const TiePair unknown = UnknownTie(*fixture.model);
+
+  std::ostringstream request;
+  request << known.u << ' ' << known.v << '\n'                       // scalar
+          << known.u << ' ' << known.v << ' ' << unknown.u << ' '
+          << unknown.v << '\n'                                       // batch
+          << "stats\n"
+          << "not-a-number 3\n"                                      // ERR
+          << "1 2 3\n"                                               // ERR
+          << "\n"                                                    // blank
+          << "quit\n"
+          << "9 9\n";  // after quit: must not be processed
+  std::istringstream in(request.str());
+  std::ostringstream out;
+  const ServeLoopStats stats = RunServeLoop(servable, in, out);
+  EXPECT_EQ(stats.lines, 6u);  // blank line and post-quit line don't count
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.errors, 2u);
+
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "%.6f",
+                fixture.model->Directionality(known.u, known.v));
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, expected);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, std::string(expected) + " NA");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("stats hits=", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ERR parse", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ERR parse", 0), 0u) << line;
+  EXPECT_FALSE(std::getline(lines, line)) << "output after quit: " << line;
+}
+
+TEST(ServeConcurrencyTest, ConcurrentReadersStayBitIdentical) {
+  // Many threads hammer one ServableModel through an eviction-heavy cache.
+  // Cache races may change WHEN a value is recomputed, never WHAT a query
+  // answers: every thread must see exactly the single-threaded values.
+  // Runs under TSan via scripts/check_sanitizers.sh.
+  const Exported& fixture = Parity();
+  const std::vector<TiePair> ties = AllTies(*fixture.model);
+  std::vector<double> expected;
+  expected.reserve(ties.size());
+  for (const TiePair& tie : ties) {
+    expected.push_back(fixture.model->Directionality(tie.u, tie.v));
+  }
+  ServeOptions options;
+  options.cache_capacity = ties.size() / 4;  // forces constant eviction
+  options.cache_ways = 4;
+  auto opened = ServableModel::Open(fixture.path, options);
+  ASSERT_TRUE(opened.ok());
+  const ServableModel& servable = opened.value();
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPasses = 3;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<double> got(ties.size(), 0.0);
+      for (size_t pass = 0; pass < kPasses; ++pass) {
+        if (t % 2 == 0) {
+          // Batch readers, each starting the sweep at a different arc.
+          if (!servable.QueryBatch(ties, got).ok()) {
+            mismatches.fetch_add(ties.size());
+            continue;
+          }
+          for (size_t i = 0; i < ties.size(); ++i) {
+            if (got[i] != expected[i]) mismatches.fetch_add(1);
+          }
+        } else {
+          // Scalar readers in a thread-dependent order.
+          for (size_t i = 0; i < ties.size(); ++i) {
+            const size_t e = (i * 31 + t * 17) % ties.size();
+            const auto value = servable.Query(ties[e].u, ties[e].v);
+            if (!value.ok() || value.value() != expected[e]) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The cache did real work concurrently (hits and evictions both landed).
+  const TieCacheStats stats = servable.CacheStats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace deepdirect::serve
