@@ -37,6 +37,7 @@
 #include "core/applications.h"
 #include "core/deepdirect.h"
 #include "core/models.h"
+#include "core/sharded_trainer.h"
 #include "data/datasets.h"
 #include "graph/algorithms.h"
 #include "graph/graph_io.h"
@@ -57,9 +58,12 @@ using namespace deepdirect;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  tdl_cli generate --dataset <name> [--scale S] --output F\n"
+               "  tdl_cli generate --dataset <name> [--scale S] [--stream]"
+               " --output F\n"
                "  tdl_cli discover --input F [--method M] [--output F]"
-               " [--hide F] [--seed N] [--threads N]\n"
+               " [--hide F] [--seed N] [--threads N] [--epochs E]\n"
+               "                   [--shards N --shard-dir D"
+               " [--shard-ram-mb M]]\n"
                "  tdl_cli quantify --input F [--method M] [--output F]"
                " [--threads N]\n"
                "  tdl_cli embed    --input F --output F [--dims N]"
@@ -95,6 +99,17 @@ int Usage() {
                " cache counters,\n  `quit` exits; --cache sets the hot-tie"
                " cache capacity in slots\n  (default 4096, 0 = off),"
                " --ways its set associativity (default 8)\n"
+               "--stream: generate straight to disk without building the"
+               " network in\n  RAM (the path for 10M+-tie graphs feeding"
+               " out-of-core training)\n"
+               "--shards/--shard-dir/--shard-ram-mb: train DeepDirect"
+               " out-of-core —\n  the embedding matrices live in mmap-backed"
+               " shard files under\n  --shard-dir with at most --shard-ram-mb"
+               " MB (default 256) of parameter\n  pages resident;"
+               " single-threaded sharded runs are bit-identical to\n"
+               "  in-RAM training\n"
+               "--epochs: override the E-step epoch count τ"
+               " (discover/quantify)\n"
                "--kernels: inner-loop dispatch — auto (default: SIMD when"
                " the CPU\n  supports it), scalar (bit-identical to the"
                " historical serial\n  trainers), or simd (force the"
@@ -157,6 +172,22 @@ int RunGenerate(const std::map<std::string, std::string>& flags) {
   if (!dataset.has_value()) return Usage();
   const double scale =
       flags.contains("scale") ? std::atof(flags.at("scale").c_str()) : 1.0;
+
+  if (flags.contains("stream")) {
+    // Stream the tie sequence straight to disk — same process, same RNG
+    // stream, so the file matches what SaveEdgeList would have written,
+    // without ever holding the network in RAM.
+    const auto config = data::DatasetConfig(*dataset, scale);
+    const auto status =
+        data::WriteStatusNetworkEdgeList(config, output_it->second);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("streamed %zu-node network to %s\n", config.num_nodes,
+                output_it->second.c_str());
+    return 0;
+  }
 
   const auto net = data::MakeDataset(*dataset, scale);
   const auto status = graph::SaveEdgeList(net, output_it->second);
@@ -293,10 +324,57 @@ int RunDiscoverOrQuantify(const std::string& command,
   if (!ckpt->dir.empty()) {
     configs.SetCheckpointing(ckpt->dir, ckpt->policy, ckpt->resume);
   }
+  if (flags.contains("epochs")) {
+    configs.deepdirect.epochs = std::atof(flags.at("epochs").c_str());
+  }
+
+  // The --shards family routes DeepDirect training out-of-core.
+  size_t shards = 0;
+  size_t shard_ram_mb = 256;
+  const auto size_flag = [&](const char* name, size_t* value) -> bool {
+    if (!flags.contains(name)) return true;
+    const auto parsed = ParseThreads(flags.at(name));
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "error: --%s expects a number, got '%s'\n", name,
+                   flags.at(name).c_str());
+      return false;
+    }
+    *value = *parsed;
+    return true;
+  };
+  if (!size_flag("shards", &shards) ||
+      !size_flag("shard-ram-mb", &shard_ram_mb)) {
+    return 1;
+  }
+
   std::printf("training %s on %zu nodes / %zu ties (%zu directed)...\n",
               core::MethodName(*method), train_net.num_nodes(),
               train_net.num_ties(), train_net.num_directed_ties());
-  const auto model = core::TrainMethod(train_net, *method, configs);
+  std::unique_ptr<core::DirectionalityModel> model;
+  if (shards > 0) {
+    if (*method != core::Method::kDeepDirect) {
+      std::fprintf(stderr,
+                   "error: --shards requires --method deepdirect\n");
+      return 1;
+    }
+    if (!flags.contains("shard-dir") || flags.at("shard-dir").empty()) {
+      std::fprintf(stderr, "error: --shards requires --shard-dir\n");
+      return 1;
+    }
+    core::DeepDirectConfig config = configs.deepdirect;
+    config.sharding.num_shards = shards;
+    config.sharding.dir = flags.at("shard-dir");
+    config.sharding.ram_budget_mb = shard_ram_mb;
+    auto trained = core::ShardedDeepDirectModel::Train(train_net, config);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   trained.status().ToString().c_str());
+      return 1;
+    }
+    model = std::move(trained).value();
+  } else {
+    model = core::TrainMethod(train_net, *method, configs);
+  }
 
   const std::string output =
       flags.contains("output") ? flags.at("output") : "";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/estep_body.h"
 #include "kernels/kernels.h"
 #include "ml/dataset.h"
 #include "obs/metrics.h"
@@ -23,49 +24,47 @@ namespace {
 // blocks of this many slots, independent of the worker count.
 constexpr size_t kPatternBlock = 256;
 
-// Bound on negative-sample redraws after a collision with the positive
-// context. The noise distribution covers every closure arc, so a redraw
-// almost surely escapes in one draw; the bound only guards degenerate
-// networks where the positive context carries nearly all the noise mass.
-constexpr size_t kMaxNegativeRedraws = 32;
+// Storage environment adapting the heap-resident training state (TieIndex,
+// pattern arena, ml::Matrix M and N, alias tables) to the shared E-step
+// body in core/estep_body.h. The sharded trainer provides the mmap-backed
+// twin; both must present identical arithmetic to the body.
+struct InRamEnv {
+  const TieIndex& idx;
+  const PatternPrecompute& patterns;
+  ml::Matrix& m;
+  ml::Matrix& n;
+  const util::AliasTable& source_table;
+  const util::AliasTable& noise_table;
 
-// Per-worker E-Step sampler tallies, accumulated with plain increments in
-// the step body (each worker owns one padded slot) and flushed into obs
-// counters once after the run — the hot loop never touches shared metrics.
-struct alignas(64) EStepTally {
-  uint64_t resamples = 0;       ///< leaf-destination pair redraws
-  uint64_t neg_collisions = 0;  ///< negative draw hit the positive context
-  uint64_t negatives = 0;       ///< negatives actually trained on
-  uint64_t labeled = 0;         ///< steps whose source arc is labeled
-  uint64_t degree_pattern = 0;  ///< steps with the degree pattern active
-  uint64_t triad_pattern = 0;   ///< steps with a non-empty triad set
-};
+  struct PatternView {
+    bool degree_active;
+    double pseudo_label;
+    std::span<const std::pair<uint32_t, uint32_t>> triads;
+  };
 
-void FlushTallies(const std::vector<EStepTally>& tallies) {
-  if (!obs::Enabled()) return;
-  EStepTally total;
-  for (const EStepTally& t : tallies) {
-    total.resamples += t.resamples;
-    total.neg_collisions += t.neg_collisions;
-    total.negatives += t.negatives;
-    total.labeled += t.labeled;
-    total.degree_pattern += t.degree_pattern;
-    total.triad_pattern += t.triad_pattern;
+  size_t num_arcs() const { return idx.num_arcs(); }
+  std::span<float> MRow(size_t e) { return m.Row(e); }
+  std::span<float> NRow(size_t e) { return n.Row(e); }
+  size_t SampleSource(const train::SgdStep&, util::Rng& r) const {
+    return source_table.Sample(r);
   }
-  obs::Registry& registry = obs::Registry::Default();
-  registry.GetCounter("deepdirect.estep.sampler.resamples")
-      ->Add(total.resamples);
-  registry.GetCounter("deepdirect.estep.sampler.negative_collisions")
-      ->Add(total.neg_collisions);
-  registry.GetCounter("deepdirect.estep.sampler.negatives_trained")
-      ->Add(total.negatives);
-  registry.GetCounter("deepdirect.estep.sampler.labeled_steps")
-      ->Add(total.labeled);
-  registry.GetCounter("deepdirect.estep.sampler.degree_pattern_steps")
-      ->Add(total.degree_pattern);
-  registry.GetCounter("deepdirect.estep.sampler.triad_pattern_steps")
-      ->Add(total.triad_pattern);
-}
+  size_t SampleNoise(util::Rng& r) const { return noise_table.Sample(r); }
+  size_t SampleConnectedTie(size_t e, util::Rng& r) const {
+    return idx.SampleConnectedTie(e, r);
+  }
+  ArcClass ClassOf(size_t e) const { return idx.Class(e); }
+  bool IsLabeled(size_t e) const { return idx.IsLabeled(e); }
+  double Label(size_t e) const { return idx.Label(e); }
+  uint32_t TieDegreeOf(size_t e) const { return idx.TieDegree(e); }
+  PatternView Pattern(size_t e) const {
+    const uint32_t s = patterns.slot[e];
+    const uint32_t t_begin = patterns.triad_offsets[s];
+    const uint32_t t_end = patterns.triad_offsets[s + 1];
+    return {patterns.degree_active[s] != 0, patterns.degree_pseudo_label[s],
+            std::span(patterns.triad_pairs).subspan(t_begin, t_end - t_begin)};
+  }
+  void NoteStep() {}  // no residency budget to account against
+};
 
 }  // namespace
 
@@ -262,136 +261,19 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
 
   std::vector<std::vector<double>> grad_scratch(
       driver.num_workers(), std::vector<double>(l, 0.0));
-  std::vector<EStepTally> tallies(driver.num_workers());
+  std::vector<internal::EStepTally> tallies(driver.num_workers());
 
+  // The step body itself lives in core/estep_body.h, shared with the
+  // out-of-core sharded trainer so both run literally the same arithmetic.
+  InRamEnv env{idx, patterns, m, n, source_table, noise_table};
   driver.Run(rng, [&](auto access, const train::SgdStep& ctx) -> double {
     using A = decltype(access);
-    std::vector<double>& grad_m = grad_scratch[ctx.worker];
-    EStepTally& tally = tallies[ctx.worker];
-    util::Rng& r = ctx.rng;
-    const double lr = ctx.lr;
-    const double progress = static_cast<double>(ctx.step) /
-                            static_cast<double>(iterations);
-
-    // Line 13: sample a connected tie pair (e, e'). A tie with a leaf
-    // destination has no pair; resample instead of silently skipping the
-    // step (P_c ∝ deg_tie never draws such a tie, so the loop only spins
-    // under the uniform fallback above — which requires |C(G)| > 0 to be
-    // reached at all).
-    size_t e = source_table.Sample(r);
-    size_t e_prime = idx.SampleConnectedTie(e, r);
-    while (e_prime >= num_arcs) {
-      ++tally.resamples;
-      e = source_table.Sample(r);
-      e_prime = idx.SampleConnectedTie(e, r);
-    }
-
-    auto m_e = m.Row(e);
-    std::fill(grad_m.begin(), grad_m.end(), 0.0);
-
-    double step_loss = 0.0;
-
-    // --- L_topo: positive pair + λ negatives (Eqs. 23–25). The fused
-    // kernel computes the score, accumulates the m_e gradient, and applies
-    // the context update in one pass: g = σ(score) − y, row −= lr·g·m_e.
-    {
-      auto n_pos = n.Row(e_prime);
-      const double score = kernels::NegSamplingUpdate<A>(
-          grad_m, m_e, n_pos, /*label=*/1.0, /*grad_scale=*/1.0,
-          /*update_scale=*/-lr);
-      if (track_loss) step_loss -= ml::LogSigmoid(score);
-    }
-    for (size_t neg = 0; neg < config.negative_samples; ++neg) {
-      // A draw colliding with the positive context is redrawn (bounded),
-      // not skipped: skipping would train those steps on fewer than λ
-      // negatives and bias L_topo toward the positive term.
-      size_t f = noise_table.Sample(r);
-      size_t redraws = 0;
-      while (f == e_prime && redraws < kMaxNegativeRedraws) {
-        ++tally.neg_collisions;
-        ++redraws;
-        f = noise_table.Sample(r);
-      }
-      if (f == e_prime) continue;  // degenerate noise mass; give up
-      ++tally.negatives;
-      auto n_neg = n.Row(f);
-      const double score = kernels::NegSamplingUpdate<A>(
-          grad_m, m_e, n_neg, /*label=*/0.0, /*grad_scale=*/1.0,
-          /*update_scale=*/-lr);
-      if (track_loss) step_loss -= ml::LogSigmoid(-score);
-    }
-
-    // --- Classifier losses: ∂L'/∂b' per Eq. 21, ramped in over the warmup
-    // window so the topology loss shapes the embedding first.
-    const double warmup_scale =
-        config.classifier_warmup_fraction <= 0.0
-            ? 1.0
-            : std::min(1.0, progress / config.classifier_warmup_fraction);
-    double g_b = 0.0;
-    const ArcClass arc_class = idx.Class(e);
-    const bool needs_prediction =
-        warmup_scale > 0.0 &&
-        (idx.IsLabeled(e) || arc_class == ArcClass::kUndirected);
-    if (needs_prediction) {
-      const double score =
-          kernels::DotF64F32<A>(A::Load(b_prime), w_prime, m_e);
-      const double prediction = ml::Sigmoid(score);
-
-      // Ablation hook: dividing by deg_tie(e) cancels the tie-degree
-      // weighting that P_c sampling otherwise realizes (Eq. 19). The
-      // warmup ramp multiplies in here as well.
-      const double degree_scale =
-          warmup_scale * (config.weight_by_tie_degree
-                              ? 1.0
-                              : 1.0 / std::max<double>(1.0, idx.TieDegree(e)));
-
-      if (idx.IsLabeled(e)) {
-        ++tally.labeled;
-        g_b += config.alpha * degree_scale * (prediction - idx.Label(e));
-      } else {
-        const uint32_t s = patterns.slot[e];
-        if (patterns.degree_active[s] != 0) {
-          ++tally.degree_pattern;
-          g_b += config.beta * degree_scale *
-                 (prediction - patterns.degree_pseudo_label[s]);
-        }
-        const uint32_t t_begin = patterns.triad_offsets[s];
-        const uint32_t t_end = patterns.triad_offsets[s + 1];
-        if (t_end > t_begin) {
-          ++tally.triad_pattern;
-          // y^t from current predictions over t(u, v) (Eq. 15).
-          double y_t = 0.0;
-          for (uint32_t t = t_begin; t < t_end; ++t) {
-            const auto& [uw, vw] = patterns.triad_pairs[t];
-            // Both pair scores in one kernel call sharing the w' loads.
-            double score_uw = 0.0;
-            double score_vw = 0.0;
-            kernels::DotPairF64F32<A>(A::Load(b_prime), w_prime, m.Row(uw),
-                                      m.Row(vw), &score_uw, &score_vw);
-            const double y_uw = ml::Sigmoid(score_uw);
-            const double y_vw = ml::Sigmoid(score_vw);
-            y_t += y_uw / std::max(y_uw + y_vw, 1e-12);
-          }
-          y_t /= static_cast<double>(t_end - t_begin);
-          g_b += config.beta * degree_scale * (prediction - y_t);
-        }
-      }
-
-      if (g_b != 0.0) {
-        // Eq. 23 (classifier part) and Eq. 22, plus L2 decay on w'.
-        kernels::ClassifierUpdate<A>(grad_m, w_prime, m_e, g_b, lr,
-                                     config.classifier_l2);
-        A::Store(b_prime, A::Load(b_prime) - lr * g_b);
-      }
-    }
-
-    // Line 15: apply the accumulated embedding gradient (with row decay).
-    kernels::ApplyGradDecay<A>(m_e, grad_m, lr, config.embedding_l2);
-
-    return step_loss;
+    return internal::EStepStep<A>(env, ctx, config, iterations, track_loss,
+                                  grad_scratch[ctx.worker], w_prime, b_prime,
+                                  tallies[ctx.worker]);
   });
 
-  FlushTallies(tallies);
+  internal::FlushTallies(tallies);
   model->e_step_weights_ = w_prime;
   model->e_step_bias_ = b_prime;
 

@@ -51,6 +51,17 @@
 
 namespace deepdirect::core {
 
+/// Out-of-core training (core/sharded_trainer.h). When num_shards > 0,
+/// ShardedDeepDirectModel::Train spills the embedding matrix M, the
+/// connection matrix N and the pattern arena to a mmap-backed ShardedStore
+/// under `dir`, keeping at most `ram_budget_mb` of parameter pages
+/// resident. Ignored by the in-RAM DeepDirectModel::Train.
+struct ShardingConfig {
+  size_t num_shards = 0;       ///< 0 = in-RAM training only
+  std::string dir;             ///< store directory (required when sharded)
+  size_t ram_budget_mb = 256;  ///< resident budget for M+N pages
+};
+
 /// Functional form of the D-Step directionality head.
 enum class DStepHead {
   kLogisticRegression = 0,  ///< Eq. 26, the paper's choice
@@ -121,6 +132,8 @@ struct DeepDirectConfig {
   /// `d_step.checkpoint`. When a simulated preemption stops the E-Step,
   /// Train() returns the partial model without running the D-Step.
   train::CheckpointOptions checkpoint;
+  /// Out-of-core sharding; only ShardedDeepDirectModel::Train reads it.
+  ShardingConfig sharding;
 
   /// The E-Step decay schedule these parameters describe.
   train::LrSchedule Schedule() const {

@@ -44,21 +44,6 @@ struct ModelMeta {
   uint64_t dimensions = 0;
 };
 
-// FNV-1a over the closure arc endpoints: detects "same size, different
-// network" mismatches at load time.
-uint64_t HashIndex(const TieIndex& index) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (size_t e = 0; e < index.num_arcs(); ++e) {
-    const auto [u, v] = index.ArcAt(e);
-    for (uint32_t word : {static_cast<uint32_t>(u),
-                          static_cast<uint32_t>(v)}) {
-      hash ^= word;
-      hash *= 0x100000001b3ULL;
-    }
-  }
-  return hash;
-}
-
 }  // namespace
 
 util::Status DeepDirectModel::Save(const std::string& path) const {
@@ -69,7 +54,7 @@ util::Status DeepDirectModel::Save(const std::string& path) const {
   train::CheckpointWriter writer(kModelMagic);
   ModelMeta meta;
   meta.num_arcs = embeddings_.rows();
-  meta.arc_hash = HashIndex(index_);
+  meta.arc_hash = HashTieIndex(index_);
   meta.dimensions = embeddings_.cols();
   writer.AddPod("meta", meta);
   writer.AddVector("embeddings", embeddings_.data());
@@ -104,7 +89,7 @@ util::Status DeepDirectModel::ExportServable(const std::string& path) const {
   meta.num_nodes = num_nodes;
   meta.num_arcs = num_arcs;
   meta.dimensions = embeddings_.cols();
-  meta.arc_hash = HashIndex(index_);
+  meta.arc_hash = HashTieIndex(index_);
   const std::vector<double>& weights = d_step_.weights();
   const double bias = d_step_.bias();
 
@@ -170,7 +155,7 @@ util::Result<std::unique_ptr<DeepDirectModel>> DeepDirectModel::Load(
   DD_RETURN_NOT_OK(file.ReadPod("meta", &meta));
 
   TieIndex index(g);
-  if (index.num_arcs() != meta.num_arcs || HashIndex(index) != meta.arc_hash) {
+  if (index.num_arcs() != meta.num_arcs || HashTieIndex(index) != meta.arc_hash) {
     return util::Status::InvalidArgument(
         "network mismatch: the model was trained on a different network "
         "(closure arcs: " + std::to_string(meta.num_arcs) + " vs " +

@@ -116,6 +116,14 @@ class TieIndex {
     return base + pick;
   }
 
+  /// Raw flat views for serialization (shard store construction). The
+  /// adjacency span doubles as the arc → dst map: arc e's destination is
+  /// Adjacency()[e] by construction of the dense index.
+  std::span<const size_t> Offsets() const { return offsets_; }
+  std::span<const graph::NodeId> Adjacency() const { return adj_; }
+  std::span<const graph::NodeId> Sources() const { return src_; }
+  std::span<const ArcClass> RawClasses() const { return classes_; }
+
  private:
   // Rank of neighbor w within u's sorted neighbor list.
   size_t RankOf(graph::NodeId u, graph::NodeId w) const;
@@ -127,6 +135,22 @@ class TieIndex {
   std::vector<ArcClass> classes_;        // arc -> label class
   uint64_t num_connected_pairs_ = 0;
 };
+
+/// FNV-1a over the closure arc endpoints: a cheap fingerprint that detects
+/// "same size, different network" mismatches when binding a serialized
+/// artifact (model file, shard store) back to a training network.
+inline uint64_t HashTieIndex(const TieIndex& index) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t e = 0; e < index.num_arcs(); ++e) {
+    const auto [u, v] = index.ArcAt(e);
+    for (uint32_t word : {static_cast<uint32_t>(u),
+                          static_cast<uint32_t>(v)}) {
+      hash ^= word;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
 
 }  // namespace deepdirect::core
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <unordered_set>
 
 namespace deepdirect::data {
@@ -32,14 +33,13 @@ std::vector<double> ComputeStatuses(size_t num_nodes, double status_noise,
   return status;
 }
 
-}  // namespace
-
-std::vector<double> GeneratorStatuses(const GeneratorConfig& config) {
-  util::Rng rng(config.seed);
-  return ComputeStatuses(config.num_nodes, config.status_noise, rng);
-}
-
-MixedSocialNetwork GenerateStatusNetwork(const GeneratorConfig& config) {
+// Runs the status-model process, emitting each tie exactly once through
+// `sink(src, dst, type)`. Templating over the sink is what makes the
+// builder path and the streaming-to-disk path byte-identical processes:
+// the sink does no RNG draws, so both consume the same stream and emit the
+// same ties in the same order.
+template <typename Sink>
+void GenerateStatusNetworkImpl(const GeneratorConfig& config, Sink&& sink) {
   DD_CHECK_GE(config.num_nodes, 3u);
   DD_CHECK_GE(config.ties_per_node, 1.0);
   DD_CHECK_GE(config.bidirectional_fraction, 0.0);
@@ -65,7 +65,6 @@ MixedSocialNetwork GenerateStatusNetwork(const GeneratorConfig& config) {
     return static_cast<size_t>(u) % num_communities;
   };
 
-  GraphBuilder builder(config.num_nodes);
   std::unordered_set<uint64_t> pair_used;
   // Endpoint multisets: every tie pushes both endpoints, so uniform draws
   // realize degree-proportional (preferential) attachment — globally and
@@ -86,7 +85,7 @@ MixedSocialNetwork GenerateStatusNetwork(const GeneratorConfig& config) {
       if (status[src] > status[dst]) std::swap(src, dst);
       if (rng.NextBool(config.direction_noise)) std::swap(src, dst);
     }
-    DD_CHECK(builder.AddTie(src, dst, type).ok());
+    sink(src, dst, type);
     pair_used.insert(PairKey(a, b));
     endpoint_pool.push_back(a);
     endpoint_pool.push_back(b);
@@ -171,8 +170,43 @@ MixedSocialNetwork GenerateStatusNetwork(const GeneratorConfig& config) {
       }
     }
   }
+}
 
+}  // namespace
+
+std::vector<double> GeneratorStatuses(const GeneratorConfig& config) {
+  util::Rng rng(config.seed);
+  return ComputeStatuses(config.num_nodes, config.status_noise, rng);
+}
+
+MixedSocialNetwork GenerateStatusNetwork(const GeneratorConfig& config) {
+  GraphBuilder builder(config.num_nodes);
+  GenerateStatusNetworkImpl(
+      config, [&builder](NodeId src, NodeId dst, TieType type) {
+        DD_CHECK(builder.AddTie(src, dst, type).ok());
+      });
   return std::move(builder).Build();
+}
+
+util::Status WriteStatusNetworkEdgeList(const GeneratorConfig& config,
+                                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    return util::Status::IOError("cannot open for writing: " + path);
+  }
+  out << "# nodes " << config.num_nodes << "\n";
+  GenerateStatusNetworkImpl(
+      config, [&out](NodeId src, NodeId dst, TieType type) {
+        // Match WriteEdgeList's convention: non-directed ties are emitted
+        // once from the smaller endpoint, so a streamed file is
+        // line-for-line identical to SaveEdgeList of the built network.
+        if (type == TieType::kBidirectional && src > dst) std::swap(src, dst);
+        const char type_char = type == TieType::kBidirectional ? 'b' : 'd';
+        out << src << ' ' << dst << ' ' << type_char << '\n';
+      });
+  out.flush();
+  if (!out.good()) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
 }
 
 MixedSocialNetwork GenerateErdosRenyi(size_t num_nodes, double tie_probability,

@@ -25,10 +25,12 @@
 #ifndef DEEPDIRECT_DATA_GENERATORS_H_
 #define DEEPDIRECT_DATA_GENERATORS_H_
 
+#include <string>
 #include <vector>
 
 #include "graph/mixed_graph.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace deepdirect::data {
 
@@ -80,6 +82,20 @@ struct GeneratorConfig {
 /// ties (no undirected ties — those are produced experimentally by
 /// graph::HideDirections, matching the paper's datasets).
 graph::MixedSocialNetwork GenerateStatusNetwork(const GeneratorConfig& config);
+
+/// Streams the status-model network of `config` straight to an edge-list
+/// file (graph/graph_io.h format, with a `# nodes` header) without ever
+/// materializing a MixedSocialNetwork: the tie stream goes to disk as it
+/// is generated, so only the generator's own bookkeeping occupies RAM.
+/// This is how the 10M+-tie inputs for out-of-core training are produced.
+/// For the same config the emitted tie *set* is identical to SaveEdgeList
+/// of GenerateStatusNetwork's result (same shared generation process, a
+/// sink that draws no randomness, and the same smaller-endpoint-first
+/// canonicalization of non-directed ties); only the line order differs —
+/// generation order here versus CSR order there — so the sorted files are
+/// byte-identical and loading either yields the same network.
+util::Status WriteStatusNetworkEdgeList(const GeneratorConfig& config,
+                                        const std::string& path);
 
 /// Latent statuses used by the generator for a given config (recomputed
 /// deterministically from the seed). Exposed for tests that check the

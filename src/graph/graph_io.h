@@ -27,13 +27,23 @@ void WriteEdgeList(const MixedSocialNetwork& g, std::ostream& out);
 
 /// Loads a network from an edge-list file. `num_threads` drives the
 /// builder's parallel index assembly (0 = all cores); the result is
-/// bit-identical for every thread count.
+/// bit-identical for every thread count. The parse buffer is reserved from
+/// the file size, so multi-gigabyte edge lists load without repeated
+/// doubling reallocations of a hundreds-of-MB tie vector.
 util::Result<MixedSocialNetwork> LoadEdgeList(const std::string& path,
                                               size_t num_threads = 1);
 
 /// Parses a network from a stream holding the edge-list format.
+/// `size_hint_bytes`, when non-zero, is the byte length of the underlying
+/// input (LoadEdgeList passes the file size); the tie buffer reserves
+/// hint/12 entries — a deliberate *under*-estimate of the tie count (the
+/// shortest legal line is 6 bytes, a typical one well over 12), so at most
+/// one doubling ever happens and small files never over-allocate. The obs
+/// counter "graph.load.tie_reallocs" records the buffer growths that
+/// happened anyway.
 util::Result<MixedSocialNetwork> ReadEdgeList(std::istream& in,
-                                              size_t num_threads = 1);
+                                              size_t num_threads = 1,
+                                              size_t size_hint_bytes = 0);
 
 }  // namespace deepdirect::graph
 

@@ -1,0 +1,202 @@
+// On-disk layout of the out-of-core shard store ("DDSH").
+//
+// A sharded training run keeps the CSR closure graph and the edge
+// embedding/connection matrices on disk behind mmap instead of in heap
+// vectors, so graphs whose |E|×l parameter matrices exceed RAM can still
+// train under a fixed resident budget. One store is a directory:
+//
+//   graph.dds        the symmetric-closure CSR and per-arc label classes,
+//                    written once and sealed before training starts
+//   shard-NNNN.dds   one file per shard, owning the contiguous arc range
+//                    [arc_begin, arc_end): the shard's slice of the
+//                    embedding matrix M and connection matrix N plus the
+//                    pattern arena (pseudo-labels, triad pairs) for its
+//                    undirected arcs; mutated in place during the E-step
+//                    and sealed afterwards
+//
+// Each file reuses the DDS1 container discipline from
+// core/servable_format.h verbatim — 32-byte header, fixed 40-byte section
+// table rows, 64-byte-aligned payloads in table order, zero padding gaps,
+// meta CRC over header+table with the field zeroed, per-section payload
+// CRC32s — with two deliberate differences:
+//
+//   * magic "DDSH", and the header's reserved word becomes `flags`.
+//     Bit 0 (kFlagSealed) distinguishes a live training file (CRCs not
+//     yet meaningful, flags = 0) from a sealed one. Readers accept only
+//     sealed files and then validate every byte exactly like the DDS1
+//     reader; the fault-injection sweeps in tests/sharded_store_test.cc
+//     mirror tests/serve_test.cc.
+//   * sections may be empty (a shard with no undirected arcs has
+//     zero-length pattern sections); empty sections still occupy a table
+//     row at the canonical (aligned) offset with CRC32 of zero bytes.
+//
+// The store is not crash-atomic: a process killed mid-E-step leaves
+// unsealed shard files behind, and Open() rejects them. Checkpoint/resume
+// of sharded runs is recorded headroom (ROADMAP), not supported here.
+//
+// Writer/reader: train/sharded_store.{h,cc}.
+
+#ifndef DEEPDIRECT_GRAPH_SHARD_FORMAT_H_
+#define DEEPDIRECT_GRAPH_SHARD_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace deepdirect::graph::shard {
+
+inline constexpr std::array<char, 4> kMagic{'D', 'D', 'S', 'H'};
+inline constexpr uint32_t kVersion = 1;
+
+/// Payload alignment, matching the DDS1 container (and the cache-line
+/// assumption the rest of the repo makes).
+inline constexpr uint64_t kAlignment = 64;
+
+/// Fixed-width section names (NUL-padded).
+inline constexpr size_t kSectionNameSize = 16;
+
+/// Header flag: section CRCs and meta CRC are valid; the file is
+/// immutable from here on. Readers reject files without it.
+inline constexpr uint32_t kFlagSealed = 1u << 0;
+
+/// File header; layout-identical to the DDS1 header except that the
+/// trailing reserved word carries `flags`. `meta_crc` is the CRC32
+/// (train::Crc32) over the header bytes with this field zeroed, followed
+/// by the full section table — so sealing (which sets kFlagSealed) must
+/// set flags before computing the CRC.
+struct Header {
+  char magic[4];
+  uint32_t version;
+  uint64_t section_count;
+  uint64_t file_size;  ///< must equal the on-disk size exactly
+  uint32_t meta_crc;
+  uint32_t flags;      ///< kFlag* bits; unknown bits must be zero
+};
+static_assert(sizeof(Header) == 32);
+
+/// One section-table row, identical to the DDS1 row. `offset` is absolute
+/// from the file start and kAlignment-aligned; `crc` is the CRC32 of the
+/// payload bytes (zero-length payloads carry the CRC of zero bytes).
+struct SectionEntry {
+  char name[kSectionNameSize];  ///< NUL-padded, NUL-terminated
+  uint64_t offset;
+  uint64_t size;
+  uint32_t crc;
+  uint32_t reserved;  ///< must be zero
+};
+static_assert(sizeof(SectionEntry) == 40);
+
+/// One triad arc-index pair (index(u,w), index(v,w)) for w ∈ t(u, v),
+/// referencing *global* arc indices (a triad neighbor may live in another
+/// shard). Field names match std::pair so the E-step body is generic over
+/// the in-RAM and on-disk representations.
+struct TriadPair {
+  uint32_t first;
+  uint32_t second;
+};
+static_assert(sizeof(TriadPair) == 8);
+
+/// File kinds (first field of both meta payloads).
+inline constexpr uint64_t kGraphKind = 1;
+inline constexpr uint64_t kShardKind = 2;
+
+/// Payload of the graph file's "meta" section.
+struct GraphMeta {
+  uint64_t kind;  ///< kGraphKind
+  uint64_t num_nodes;
+  uint64_t num_arcs;
+  uint64_t dimensions;  ///< embedding width l of the shard files
+  uint64_t num_shards;
+  uint64_t num_connected_pairs;  ///< |C(G)| (the E-step budget unit)
+  /// FNV-1a over the closure arc endpoints (the same hash DDM2/DDS1
+  /// store): identifies the network every shard file must match.
+  uint64_t arc_hash;
+  uint64_t reserved0;  ///< must be zero
+};
+static_assert(sizeof(GraphMeta) == 64);
+
+/// Payload of a shard file's "meta" section.
+struct ShardMeta {
+  uint64_t kind;  ///< kShardKind
+  uint64_t shard_index;
+  uint64_t arc_begin;  ///< first global arc index owned by this shard
+  uint64_t arc_end;    ///< one past the last owned arc
+  uint64_t dimensions;
+  uint64_t num_slots;        ///< pattern-carrying (undirected) arcs owned
+  uint64_t num_triad_pairs;  ///< total TriadPair entries in the arena
+  uint64_t arc_hash;         ///< must equal the graph file's arc_hash
+};
+static_assert(sizeof(ShardMeta) == 64);
+
+// --- Graph file sections (all required, in this order) -----------------
+//   meta      GraphMeta
+//   offsets   u64[num_nodes + 1] — CSR row starts into `adj`
+//   adj       u32[num_arcs] — sorted neighbor lists; doubles as the
+//             arc → dst map (arc e's destination is adj[e])
+//   src       u32[num_arcs] — arc → src
+//   classes   u8[num_arcs] — core::ArcClass per arc
+inline constexpr char kSectionMeta[] = "meta";
+inline constexpr char kSectionOffsets[] = "offsets";
+inline constexpr char kSectionAdj[] = "adj";
+inline constexpr char kSectionSrc[] = "src";
+inline constexpr char kSectionClasses[] = "classes";
+
+inline constexpr const char* kGraphSectionOrder[] = {
+    kSectionMeta, kSectionOffsets, kSectionAdj, kSectionSrc, kSectionClasses,
+};
+inline constexpr uint64_t kGraphSectionCount =
+    sizeof(kGraphSectionOrder) / sizeof(kGraphSectionOrder[0]);
+
+// --- Shard file sections (all required, in this order) -----------------
+//   meta         ShardMeta
+//   slot         u32[arc_end - arc_begin] — local arc → local pattern
+//                slot, UINT32_MAX for non-undirected arcs
+//   label        f64[num_slots] — y^d (Eq. 14) per slot
+//   active       u8[num_slots] — y^d > T per slot
+//   triad_off    u32[num_slots + 1] — CSR offsets into triad_pairs
+//                (empty, rather than [0], when num_slots is 0)
+//   triad_pairs  TriadPair[num_triad_pairs]
+//   emb          f32[(arc_end - arc_begin) × dimensions] — rows of M
+//   conn         f32[(arc_end - arc_begin) × dimensions] — rows of N
+//
+// emb and conn are deliberately last and adjacent: the resident-budget
+// eviction path drops exactly the [emb, end-of-file) byte range, leaving
+// the (much smaller, always-hot) pattern arena resident.
+inline constexpr char kSectionSlot[] = "slot";
+inline constexpr char kSectionLabel[] = "label";
+inline constexpr char kSectionActive[] = "active";
+inline constexpr char kSectionTriadOffsets[] = "triad_off";
+inline constexpr char kSectionTriadPairs[] = "triad_pairs";
+inline constexpr char kSectionEmb[] = "emb";
+inline constexpr char kSectionConn[] = "conn";
+
+inline constexpr const char* kShardSectionOrder[] = {
+    kSectionMeta,         kSectionSlot,       kSectionLabel,
+    kSectionActive,       kSectionTriadOffsets, kSectionTriadPairs,
+    kSectionEmb,          kSectionConn,
+};
+inline constexpr uint64_t kShardSectionCount =
+    sizeof(kShardSectionOrder) / sizeof(kShardSectionOrder[0]);
+
+/// Rounds `n` up to the next kAlignment boundary.
+inline constexpr uint64_t AlignUp(uint64_t n) {
+  return (n + kAlignment - 1) & ~(kAlignment - 1);
+}
+
+/// Byte offset of the first payload (end of header + section table).
+inline constexpr uint64_t TableEnd(uint64_t section_count) {
+  return sizeof(Header) + section_count * sizeof(SectionEntry);
+}
+
+/// Canonical file names within a store directory.
+inline std::string GraphFileName() { return "graph.dds"; }
+inline std::string ShardFileName(size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04zu.dds", shard);
+  return buf;
+}
+
+}  // namespace deepdirect::graph::shard
+
+#endif  // DEEPDIRECT_GRAPH_SHARD_FORMAT_H_

@@ -43,7 +43,7 @@ uint64_t ExpectedSize(const char* name, const fmt::Meta& meta) {
 
 util::Result<ServableModel> ServableModel::Open(const std::string& path,
                                                 const ServeOptions& options) {
-  auto mapped = MmapFile::Open(path);
+  auto mapped = MmapFile::Open(path, MmapAdvice::kRandom);
   if (!mapped.ok()) return mapped.status();
   MmapFile file = std::move(mapped).value();
   const auto* base = static_cast<const unsigned char*>(file.data());

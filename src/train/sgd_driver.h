@@ -51,6 +51,24 @@
 
 namespace deepdirect::train {
 
+/// SgdStep::shard value when the run is unsharded (or serial).
+inline constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+/// Shard-affinity plan for Hogwild runs over out-of-core storage. With
+/// `num_shards > 0` and more than one worker, each epoch chunk's step
+/// budget is apportioned across shards by weight (largest remainder) and
+/// shard s is pinned to worker s % num_workers: a worker executes its
+/// shards' steps as contiguous spans, so the resident pages it faults in
+/// stay hot instead of being re-faulted by every worker. The serial path
+/// ignores the plan entirely — nt=1 keeps the global (shard-free) sampling
+/// order, which is what makes nt=1 output independent of the shard count.
+struct ShardPlan {
+  /// Number of storage shards; 0 disables shard affinity.
+  size_t num_shards = 0;
+  /// Per-shard sampling weight (e.g. connected-pair mass). Empty = uniform.
+  std::vector<double> shard_weights;
+};
+
 /// Execution parameters of one driver run.
 struct SgdOptions {
   /// Steps this run executes (the full budget; resume skips within it).
@@ -95,6 +113,8 @@ struct SgdOptions {
   /// ".worker_steps" (one observation per worker). Recording happens off
   /// the step hot path and never draws from any Rng.
   std::string metrics_prefix;
+  /// Shard affinity for multi-worker runs; see ShardPlan.
+  ShardPlan shard_plan;
 };
 
 /// One step's execution context, handed to the body.
@@ -103,6 +123,9 @@ struct SgdStep {
   uint64_t step;   ///< global step index
   double lr;       ///< learning rate at this step
   util::Rng& rng;  ///< this worker's RNG stream
+  /// Storage shard this step should sample its source from; kNoShard on
+  /// the serial path and on runs without a ShardPlan.
+  size_t shard = kNoShard;
 };
 
 /// Unified SGD execution engine; see the file comment.
@@ -162,6 +185,10 @@ class SgdDriver {
           reporter.Record(1, loss);
         }
         worker_steps[0] += chunk_end - cursor;
+      } else if (options_.shard_plan.num_shards > 0) {
+        epoch_loss = RunChunkShardedHogwild(cursor, chunk_end, epoch, total,
+                                            reporter, *pool, worker_steps,
+                                            body);
       } else {
         epoch_loss = RunChunkHogwild(cursor, chunk_end, epoch, total,
                                      reporter, *pool, worker_steps, body);
@@ -240,6 +267,98 @@ class SgdDriver {
     double loss_sum = 0.0;
     for (double v : worker_loss) loss_sum += v;
     return loss_sum;
+  }
+
+  /// One epoch chunk on the shard-affine Hogwild path. The chunk's step
+  /// budget is apportioned across shards by ShardPlan weight (largest
+  /// remainder, deterministic tie-break on shard index) and shard s runs
+  /// on worker s % N as one contiguous span of steps, so each worker's
+  /// resident pages stay hot. Worker RNG seeding matches the unsharded
+  /// path; the learning-rate index interleaves each worker's local steps
+  /// across the chunk so every worker still sweeps the decay.
+  template <typename Body>
+  double RunChunkShardedHogwild(uint64_t chunk_begin, uint64_t chunk_end,
+                                uint64_t epoch, uint64_t total,
+                                ProgressReporter& reporter, ThreadPool& pool,
+                                std::vector<uint64_t>& worker_steps,
+                                Body&& body) {
+    const bool single_chunk = options_.steps_per_epoch == 0 ||
+                              options_.steps_per_epoch >= options_.steps;
+    const ShardedRng shards(single_chunk
+                                ? options_.shard_seed
+                                : PerItemSeed(options_.shard_seed, epoch));
+    const uint64_t chunk_steps = chunk_end - chunk_begin;
+    const std::vector<uint64_t> quota = ApportionSteps(chunk_steps);
+    std::vector<double> worker_loss(workers_, 0.0);
+    const bool trace_workers =
+        !options_.metrics_prefix.empty() && obs::TraceEnabled();
+    pool.ParallelFor(workers_, [&](size_t w) {
+      std::optional<obs::TraceSpan> worker_span;
+      if (trace_workers) {
+        worker_span.emplace(options_.metrics_prefix + ".worker " +
+                            std::to_string(w));
+      }
+      util::Rng worker_rng = shards.MakeShard(w);
+      double loss_sum = 0.0;
+      double window_loss = 0.0;
+      uint64_t window_steps = 0;
+      uint64_t steps_run = 0;
+      for (size_t s = w; s < quota.size(); s += workers_) {
+        for (uint64_t j = 0; j < quota[s]; ++j) {
+          const uint64_t step =
+              chunk_begin + (steps_run * workers_ + w) % chunk_steps;
+          const SgdStep ctx{w, step, options_.lr.At(step, total), worker_rng,
+                            s};
+          const double loss = body(HogwildAccess{}, ctx);
+          loss_sum += loss;
+          window_loss += loss;
+          ++steps_run;
+          if (++window_steps >= kWorkerFlushSteps) {
+            reporter.Record(window_steps, window_loss);
+            window_steps = 0;
+            window_loss = 0.0;
+          }
+        }
+      }
+      if (window_steps > 0) reporter.Record(window_steps, window_loss);
+      worker_loss[w] = loss_sum;
+      worker_steps[w] += steps_run;
+    });
+    double loss_sum = 0.0;
+    for (double v : worker_loss) loss_sum += v;
+    return loss_sum;
+  }
+
+  /// Largest-remainder apportionment of `chunk_steps` across the plan's
+  /// shards by weight. Deterministic: remainder ties break on shard index.
+  std::vector<uint64_t> ApportionSteps(uint64_t chunk_steps) const {
+    const size_t n = options_.shard_plan.num_shards;
+    std::vector<double> weights = options_.shard_plan.shard_weights;
+    double weight_sum = 0.0;
+    for (double v : weights) weight_sum += v;
+    if (weights.size() != n || weight_sum <= 0.0) {
+      weights.assign(n, 1.0);
+      weight_sum = static_cast<double>(n);
+    }
+    std::vector<uint64_t> quota(n, 0);
+    std::vector<std::pair<double, size_t>> remainders(n);
+    uint64_t assigned = 0;
+    for (size_t s = 0; s < n; ++s) {
+      const double exact =
+          static_cast<double>(chunk_steps) * weights[s] / weight_sum;
+      quota[s] = static_cast<uint64_t>(exact);
+      assigned += quota[s];
+      remainders[s] = {exact - static_cast<double>(quota[s]), s};
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (size_t k = 0; assigned < chunk_steps; ++k, ++assigned) {
+      ++quota[remainders[k % n].second];
+    }
+    return quota;
   }
 
   /// Post-run telemetry (see SgdOptions::metrics_prefix). Cold path: runs

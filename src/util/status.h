@@ -24,6 +24,7 @@ enum class StatusCode {
   kIOError,
   kFailedPrecondition,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

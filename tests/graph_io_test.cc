@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "data/generators.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
 
 namespace deepdirect::graph {
 namespace {
@@ -169,6 +171,44 @@ TEST(GraphIoTest, EmptyInputYieldsEmptyNetwork) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded.value().num_nodes(), 0u);
   EXPECT_EQ(loaded.value().num_ties(), 0u);
+}
+
+TEST(GraphIoTest, FileSizeReserveHintBoundsReallocations) {
+  // LoadEdgeList reserves the tie buffer from the file size (hint / 12, a
+  // deliberate under-estimate), so the parse must grow the buffer at most
+  // once no matter how many ties the file holds. Regression test for the
+  // doubling-realloc crawl on multi-GB edge lists.
+  data::GeneratorConfig gen;
+  gen.num_nodes = 3000;
+  gen.ties_per_node = 4.0;
+  gen.seed = 21;
+  const auto net = data::GenerateStatusNetwork(gen);
+  const std::string path = "/tmp/deepdirect_graphio_realloc.edges";
+  ASSERT_TRUE(SaveEdgeList(net, path).ok());
+
+  obs::Registry& registry = obs::Registry::Default();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  obs::Counter* reallocs = registry.GetCounter("graph.load.tie_reallocs");
+  reallocs->Reset();
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_ties(), net.num_ties());
+  EXPECT_LE(reallocs->Value(), 1u)
+      << "the file-size reserve hint no longer bounds buffer growth";
+
+  // Contrast: the same bytes parsed with no size hint must double their
+  // way up — that growth is what the hint exists to prevent. (Skipped in
+  // no-telemetry builds, where counters always read zero.)
+  if (obs::Enabled()) {
+    std::ifstream in(path);
+    reallocs->Reset();
+    auto unhinted = ReadEdgeList(in);
+    ASSERT_TRUE(unhinted.ok());
+    EXPECT_GT(reallocs->Value(), 1u);
+  }
+  registry.set_enabled(was_enabled);
+  std::remove(path.c_str());
 }
 
 }  // namespace

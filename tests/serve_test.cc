@@ -20,8 +20,10 @@
 #include "core/servable_format.h"
 #include "data/generators.h"
 #include "graph/algorithms.h"
+#include "serve/mmap_file.h"
 #include "serve/servable_model.h"
 #include "serve/server.h"
+#include "serve/tie_cache.h"
 #include "util/random.h"
 
 namespace deepdirect::serve {
@@ -463,6 +465,106 @@ TEST(ServeConcurrencyTest, ConcurrentReadersStayBitIdentical) {
   const TieCacheStats stats = servable.CacheStats();
   EXPECT_GT(stats.hits + stats.misses, 0u);
   EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(TieCacheStatsTest, HitsPlusMissesEqualsLookupsUnderHammer) {
+  // Every Lookup counts exactly one hit or one miss, and the merged
+  // counters never move backwards — pinned under an 8-thread hammer with
+  // a key range big enough to keep evicting.
+  ShardedTieCache cache(/*capacity=*/256, /*ways=*/8);
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kLookupsPerThread = 20000;
+  constexpr uint64_t kKeyRange = 4096;
+
+  std::atomic<uint64_t> monotonicity_violations{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &monotonicity_violations, t] {
+      uint64_t last_hits = 0, last_misses = 0, last_evictions = 0;
+      for (uint64_t i = 0; i < kLookupsPerThread; ++i) {
+        // Alternate a small hot set (guaranteed hits once warm) with a
+        // sweep over a range far beyond capacity (guaranteed evictions).
+        const uint64_t key =
+            (i & 1) ? 1 + i % 64
+                    : 65 + (i * 2654435761u + t * 40503u) % kKeyRange;
+        double value = 0.0;
+        if (!cache.Lookup(key, &value)) {
+          cache.Insert(key, static_cast<double>(key) * 0.5);
+        }
+        if (i % 1024 == 0) {
+          // Merged counters are monotone even while 7 peers are racing.
+          const TieCacheStats snap = cache.Stats();
+          if (snap.hits < last_hits || snap.misses < last_misses ||
+              snap.evictions < last_evictions) {
+            monotonicity_violations.fetch_add(1);
+          }
+          last_hits = snap.hits;
+          last_misses = snap.misses;
+          last_evictions = snap.evictions;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const TieCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kLookupsPerThread)
+      << "a Lookup was dropped or double-counted";
+  EXPECT_EQ(monotonicity_violations.load(), 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);  // key range >> capacity forces churn
+}
+
+TEST(MmapRwFileTest, CreateWriteSyncReopenRoundTrip) {
+  const std::string path = "/tmp/deepdirect_mmap_rw_test.bin";
+  std::remove(path.c_str());
+  constexpr uint64_t kSize = 1 << 20;
+  {
+    auto created = MmapRwFile::Create(path, kSize);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    MmapRwFile& file = created.value();
+    ASSERT_TRUE(file.valid());
+    ASSERT_EQ(file.size(), kSize);
+    auto* bytes = static_cast<unsigned char*>(file.data());
+    // A sparse file reads zero before any store.
+    EXPECT_EQ(bytes[0], 0u);
+    EXPECT_EQ(bytes[kSize - 1], 0u);
+    for (uint64_t i = 0; i < kSize; i += 4096) {
+      bytes[i] = static_cast<unsigned char>(i >> 12);
+    }
+    ASSERT_TRUE(file.Sync().ok());
+    // Dropping residency must not lose synced (or even just-cached) data.
+    file.DropResident(0, kSize);
+    for (uint64_t i = 0; i < kSize; i += 4096) {
+      ASSERT_EQ(bytes[i], static_cast<unsigned char>(i >> 12))
+          << "DropResident lost data at offset " << i;
+    }
+  }
+  for (const MmapAdvice advice :
+       {MmapAdvice::kNone, MmapAdvice::kRandom, MmapAdvice::kSequential}) {
+    auto reopened = MmapRwFile::Open(path, advice);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    const auto* bytes =
+        static_cast<const unsigned char*>(reopened.value().data());
+    for (uint64_t i = 0; i < kSize; i += 4096) {
+      ASSERT_EQ(bytes[i], static_cast<unsigned char>(i >> 12));
+    }
+  }
+  // The read-only class accepts the same advice hints.
+  for (const MmapAdvice advice :
+       {MmapAdvice::kRandom, MmapAdvice::kSequential}) {
+    auto readonly = MmapFile::Open(path, advice);
+    ASSERT_TRUE(readonly.ok()) << readonly.status().ToString();
+    EXPECT_EQ(readonly.value().size(), kSize);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapRwFileTest, MissingFileReportsIOErrorNotResourceExhausted) {
+  auto opened = MmapRwFile::Open("/tmp/deepdirect_mmap_rw_nonexistent");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), util::StatusCode::kIOError);
 }
 
 }  // namespace
