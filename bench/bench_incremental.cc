@@ -1,0 +1,224 @@
+// Streaming-update bench: on the Fig-3 status-network generator, compares
+// a full retrain against warm-started incremental updates (base train +
+// the tail ties streamed in as 3 batches) across a sweep of tail sizes,
+// and gates the contract of tdl_cli update:
+//
+//   incremental_accuracy_ge_0p95x  "bool"/higher  every sweep point's
+//                                                 direction-discovery
+//                                                 accuracy is >= 0.95x the
+//                                                 full retrain's
+//   incremental_steps_le_0p2x      "bool"/higher  every sweep point's total
+//                                                 incremental E-step budget
+//                                                 is <= 0.2x the full
+//                                                 retrain's step count
+//
+// Both models are scored against the SAME hidden-direction split (the
+// merged update network is tie-for-tie the full training network, pinned
+// by a tie-index hash check), so the accuracy ratio is a like-for-like
+// differential, not two different splits. Timing rows (*_seconds) carry
+// machine-dependent wall clock and are skipped by the cross-machine gate
+// (scripts/bench_compare.py --skip-timing); the ratios and counters
+// transfer.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/applications.h"
+#include "core/deepdirect.h"
+#include "core/incremental.h"
+#include "core/models.h"
+#include "core/tie_index.h"
+#include "data/datasets.h"
+#include "graph/algorithms.h"
+#include "train/incremental.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace deepdirect;
+
+constexpr size_t kNumBatches = 3;
+
+struct TailSplit {
+  graph::MixedSocialNetwork base;
+  std::vector<train::TieBatch> batches;
+};
+
+// Splits off `num_tail` random ties as kNumBatches update batches; the
+// rest is the pre-update base network.
+TailSplit SplitTail(const graph::MixedSocialNetwork& g, size_t num_tail,
+                    uint64_t seed) {
+  std::vector<train::TieDelta> ties = core::ExtractTies(g);
+  std::vector<size_t> order(ties.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(seed);
+  rng.Shuffle(order);
+
+  std::vector<uint8_t> in_tail(ties.size(), 0);
+  for (size_t i = 0; i < num_tail; ++i) in_tail[order[i]] = 1;
+  graph::GraphBuilder builder(g.num_nodes());
+  for (size_t i = 0; i < ties.size(); ++i) {
+    if (in_tail[i]) continue;
+    const auto status = builder.AddTie(ties[i].u, ties[i].v, ties[i].type);
+    if (!status.ok()) std::abort();
+  }
+
+  TailSplit out{std::move(builder).Build(), {}};
+  out.batches.resize(kNumBatches);
+  for (size_t i = 0; i < num_tail; ++i) {
+    train::TieBatch& batch = out.batches[i % kNumBatches];
+    train::TieDelta tie = ties[order[i]];
+    tie.line = static_cast<uint32_t>(batch.ties.size() + 1);
+    batch.ties.push_back(tie);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchSession session("incremental");
+  std::printf("=== Incremental tie-batch updates vs full retrain ===\n\n");
+
+  // Floor the scale so the tail batches stay a small fraction of the
+  // network — the regime streaming updates exist for. Still seconds-fast.
+  const double scale = std::max(bench::BenchScale(), 0.4);
+  const auto net = data::MakeDataset(data::DatasetId::kTwitter, scale);
+  util::Rng rng(77);
+  const auto split = graph::HideDirections(net, 0.7, rng);
+
+  core::DeepDirectConfig config =
+      core::MethodConfigs::FastDefaults().deepdirect;
+  config.num_threads = 1;  // deterministic serial runs
+  config.d_step.num_threads = 1;
+
+  core::IncrementalOptions options;
+  options.epochs_per_batch = 1.0;
+
+  util::Timer timer;
+  const auto full = core::DeepDirectModel::Train(split.network, config);
+  const double full_seconds = timer.ElapsedSeconds();
+  const double acc_full = core::DirectionDiscoveryAccuracy(split, *full);
+  const uint64_t full_steps = static_cast<uint64_t>(
+      config.epochs *
+      static_cast<double>(core::TieIndex(split.network).NumConnectedTiePairs()));
+  const uint64_t full_hash = core::HashTieIndex(full->index());
+
+  const size_t num_ties = split.network.num_ties();
+  const double tail_fractions[] = {0.005, 0.01, 0.02};
+
+  util::TablePrinter table({"tail", "ties", "affected", "upd_steps",
+                            "steps_x", "acc_full", "acc_inc", "acc_x",
+                            "seconds"});
+  auto csv = bench::OpenResultCsv("incremental");
+  csv.WriteRow({"tail_fraction", "tail_ties", "affected_arcs",
+                "update_steps", "full_steps", "step_ratio", "acc_full",
+                "acc_inc", "acc_ratio", "update_seconds"});
+
+  double min_acc_ratio = 1e9;
+  double max_step_ratio = 0.0;
+  bool merged_matches = true;
+  for (const double fraction : tail_fractions) {
+    const size_t num_tail =
+        std::max<size_t>(kNumBatches,
+                         static_cast<size_t>(fraction * num_ties));
+    TailSplit tail = SplitTail(split.network, num_tail, 99);
+    if (tail.base.num_directed_ties() == 0) std::abort();
+
+    const std::string ckpt_dir =
+        bench::ResultDir() + "/incremental_ckpt_" +
+        std::to_string(static_cast<int>(fraction * 1000));
+    core::DeepDirectConfig base_config = config;
+    train::CheckpointPolicy policy;
+    policy.write_final = true;
+    base_config.checkpoint = {ckpt_dir, "deepdirect.estep", policy, false};
+    const auto base = core::DeepDirectModel::Train(tail.base, base_config);
+    auto state = train::LoadEStepState(ckpt_dir);
+    if (!state.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   state.status().ToString().c_str());
+      return session.Finish(1);
+    }
+
+    timer.Reset();
+    uint64_t update_steps = 0;
+    size_t affected = 0;
+    core::IncrementalUpdate last{std::move(tail.base), nullptr,
+                                 std::move(state).value(), {}};
+    for (const train::TieBatch& batch : tail.batches) {
+      auto updated = core::DeepDirectModel::ApplyTieBatch(
+          last.network, batch, last.state, config, options);
+      if (!updated.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     updated.status().ToString().c_str());
+        return session.Finish(1);
+      }
+      last = std::move(updated).value();
+      update_steps += last.stats.estep_steps;
+      affected += last.stats.affected_arcs;
+    }
+    const double update_seconds = timer.ElapsedSeconds();
+
+    // The merged network must be tie-for-tie the full training network,
+    // or the accuracy comparison below compares nothing.
+    merged_matches = merged_matches &&
+                     core::HashTieIndex(last.model->index()) == full_hash;
+    const double acc_inc =
+        core::DirectionDiscoveryAccuracy(split, *last.model);
+    const double acc_ratio = acc_full > 0.0 ? acc_inc / acc_full : 0.0;
+    const double step_ratio =
+        static_cast<double>(update_steps) / static_cast<double>(full_steps);
+    min_acc_ratio = std::min(min_acc_ratio, acc_ratio);
+    max_step_ratio = std::max(max_step_ratio, step_ratio);
+
+    table.AddRow({util::TablePrinter::FormatDouble(fraction, 3),
+                  std::to_string(num_tail), std::to_string(affected),
+                  std::to_string(update_steps),
+                  util::TablePrinter::FormatDouble(step_ratio, 3),
+                  util::TablePrinter::FormatDouble(acc_full, 4),
+                  util::TablePrinter::FormatDouble(acc_inc, 4),
+                  util::TablePrinter::FormatDouble(acc_ratio, 3),
+                  util::TablePrinter::FormatDouble(update_seconds, 3)});
+    csv.WriteRow({util::TablePrinter::FormatDouble(fraction, 3),
+                  std::to_string(num_tail), std::to_string(affected),
+                  std::to_string(update_steps), std::to_string(full_steps),
+                  util::TablePrinter::FormatDouble(step_ratio, 4),
+                  util::TablePrinter::FormatDouble(acc_full, 4),
+                  util::TablePrinter::FormatDouble(acc_inc, 4),
+                  util::TablePrinter::FormatDouble(acc_ratio, 4),
+                  util::TablePrinter::FormatDouble(update_seconds, 3)});
+  }
+  table.Print();
+
+  const std::map<std::string, std::string> labels = {
+      {"batches", std::to_string(kNumBatches)},
+      {"epochs_per_batch", "1"}};
+  session.Add("full_train_seconds", "seconds", "lower", full_seconds,
+              labels);
+  session.Add("incremental_min_acc_ratio", "x", "higher", min_acc_ratio,
+              labels);
+  session.Add("incremental_max_step_ratio", "x", "lower", max_step_ratio,
+              labels);
+  session.Add("incremental_merged_matches_full", "bool", "higher",
+              merged_matches ? 1.0 : 0.0, labels);
+  session.Add("incremental_accuracy_ge_0p95x", "bool", "higher",
+              min_acc_ratio >= 0.95 ? 1.0 : 0.0, labels);
+  session.Add("incremental_steps_le_0p2x", "bool", "higher",
+              max_step_ratio <= 0.2 ? 1.0 : 0.0, labels);
+
+  std::printf(
+      "\ngates: accuracy %.3fx full retrain (>=0.95 required), steps "
+      "%.3fx (<=0.2 required), merged network %s\n",
+      min_acc_ratio, max_step_ratio, merged_matches ? "ok" : "MISMATCH");
+  const bool gates_ok = min_acc_ratio >= 0.95 && max_step_ratio <= 0.2 &&
+                        merged_matches;
+  return session.Finish(gates_ok ? 0 : 1);
+}

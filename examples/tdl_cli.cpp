@@ -19,6 +19,14 @@
 //       Trains DeepDirect and exports the tie embedding matrix M
 //       (one row per closure arc: u, v, m_uv...).
 //
+//   tdl_cli update --input net.edges --batch new1.edges[,new2.edges...] \
+//                  --checkpoint-dir ckpt [--epochs-per-batch E]
+//       Absorbs batches of newly-arrived ties into a trained DeepDirect
+//       model: warm-starts M/N/(w', b') from the newest E-step checkpoint
+//       in --checkpoint-dir, splices each batch into the network, and
+//       retrains only the affected closure arcs. Saves the chained state
+//       back so further updates pick it up.
+//
 //   tdl_cli serve --model model.dds [--cache N] [--ways N]
 //       Answers d(u, v) queries over stdin/stdout against a servable model
 //       exported with --save-model (accepted by discover, quantify, and
@@ -29,13 +37,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/applications.h"
 #include "core/deepdirect.h"
+#include "core/incremental.h"
 #include "core/models.h"
 #include "core/sharded_trainer.h"
 #include "data/datasets.h"
@@ -68,6 +79,12 @@ int Usage() {
                " [--threads N]\n"
                "  tdl_cli embed    --input F --output F [--dims N]"
                " [--threads N]\n"
+               "  tdl_cli update   --input F --batch F[,F...]"
+               " --checkpoint-dir D\n"
+               "                   [--epochs-per-batch E] [--threads N]"
+               " [--output F]\n"
+               "                   [--merged-output F] [--truth F]"
+               " [--save-model F]\n"
                "  tdl_cli serve    --model F [--cache N] [--ways N]\n"
                "methods: deepdirect hf line redirect-n redirect-t\n"
                "datasets: twitter livejournal epinions slashdot tencent\n"
@@ -110,6 +127,18 @@ int Usage() {
                "  in-RAM training\n"
                "--epochs: override the E-step epoch count τ"
                " (discover/quantify)\n"
+               "update: --batch is a comma-separated list of delta files in"
+               " edge-list\n  format, applied in order; each warm-starts"
+               " from the previous state\n  and retrains only arcs touched"
+               " by the batch (--epochs-per-batch\n  passes over the"
+               " affected pair mass, default 2). The final E-step\n"
+               "  state of a run with --checkpoint-dir is always written,"
+               " so any such\n  run can seed updates\n"
+               "--truth: score direction discovery against a file of 'u v'"
+               " lines\n  (true direction u -> v) via d(u,v) >= d(v,u)"
+               " (discover/update)\n"
+               "--merged-output: write the post-update network in edge-list"
+               " format\n"
                "--kernels: inner-loop dispatch — auto (default: SIMD when"
                " the CPU\n  supports it), scalar (bit-identical to the"
                " historical serial\n  trainers), or simd (force the"
@@ -237,6 +266,10 @@ std::optional<CheckpointFlags> ParseCheckpointFlags(
     return std::nullopt;
   }
   out.policy.keep_last = static_cast<size_t>(keep);
+  // CLI runs always persist the final E-step state: `tdl_cli update`
+  // warm-starts from it, and an ordinary resume snapshot is one epoch
+  // short of the model the run actually produced.
+  out.policy.write_final = true;
   return out;
 }
 
@@ -277,6 +310,59 @@ int MaybeSaveModel(const std::map<std::string, std::string>& flags,
     return 1;
   }
   std::printf("wrote servable model to %s\n", path.c_str());
+  return 0;
+}
+
+// Evaluates direction-discovery accuracy against a ground-truth file of
+// `u v` lines (true direction u -> v; blank lines and `#` comments are
+// skipped) via the paper's d(u,v) >= d(v,u) rule. A pair the model cannot
+// evaluate is an error — the truth file must describe ties of the network
+// the model was trained on. Returns 0 after printing the accuracy.
+int ReportTruthAccuracy(const std::string& path,
+                        const core::DirectionalityModel& model) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "error: cannot open truth file %s\n", path.c_str());
+    return 1;
+  }
+  size_t correct = 0;
+  size_t total = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    char trailing = '\0';
+    if (std::sscanf(line.c_str(), "%llu %llu %c", &u, &v, &trailing) != 2) {
+      std::fprintf(stderr, "error: %s line %zu: expected 'u v', got '%s'\n",
+                   path.c_str(), line_no, line.c_str());
+      return 1;
+    }
+    const auto d_uv = model.TryDirectionality(static_cast<graph::NodeId>(u),
+                                              static_cast<graph::NodeId>(v));
+    const auto d_vu = model.TryDirectionality(static_cast<graph::NodeId>(v),
+                                              static_cast<graph::NodeId>(u));
+    if (!d_uv.ok() || !d_vu.ok()) {
+      std::fprintf(stderr,
+                   "error: %s line %zu: tie %llu %llu is not evaluable by "
+                   "this model (%s)\n",
+                   path.c_str(), line_no, u, v,
+                   (d_uv.ok() ? d_vu : d_uv).status().ToString().c_str());
+      return 1;
+    }
+    if (d_uv.value() >= d_vu.value()) ++correct;
+    ++total;
+  }
+  if (total == 0) {
+    std::fprintf(stderr, "error: truth file %s has no ties\n", path.c_str());
+    return 1;
+  }
+  std::printf("accuracy on truth file: %.4f (%zu/%zu)\n",
+              static_cast<double>(correct) / static_cast<double>(total),
+              correct, total);
   return 0;
 }
 
@@ -393,6 +479,10 @@ int RunDiscoverOrQuantify(const std::string& command,
       std::printf("accuracy on hidden ground truth: %.4f\n",
                   core::DirectionDiscoveryAccuracy(*split, *model));
     }
+    if (flags.contains("truth")) {
+      const int rc = ReportTruthAccuracy(flags.at("truth"), *model);
+      if (rc != 0) return rc;
+    }
   } else {  // quantify
     csv.WriteRow({"u", "v", "d_uv", "d_vu"});
     size_t count = 0;
@@ -466,6 +556,144 @@ int RunEmbed(const std::map<std::string, std::string>& flags) {
   return MaybeSaveModel(flags, *model);
 }
 
+// Streaming tie-batch update: warm-start from the newest E-step checkpoint
+// and absorb one or more delta files without a full retrain. Batches are
+// applied in the order given; each chains the state (and merged network)
+// into the next. After all batches succeed the updated state is saved back
+// into the checkpoint directory so further updates chain across processes.
+int RunUpdate(const std::map<std::string, std::string>& flags) {
+  const auto input_it = flags.find("input");
+  const auto batch_it = flags.find("batch");
+  const auto dir_it = flags.find("checkpoint-dir");
+  if (input_it == flags.end() || batch_it == flags.end() ||
+      dir_it == flags.end() || batch_it->second.empty() ||
+      dir_it->second.empty()) {
+    return Usage();
+  }
+  const auto threads = ThreadsFlag(flags);
+  if (!threads.has_value()) return 1;
+
+  core::IncrementalOptions options;
+  if (flags.contains("epochs-per-batch")) {
+    options.epochs_per_batch = std::atof(flags.at("epochs-per-batch").c_str());
+  }
+
+  auto state_result = train::LoadEStepState(dir_it->second);
+  if (!state_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 state_result.status().ToString().c_str());
+    return 1;
+  }
+  train::EStepState state = std::move(state_result).value();
+
+  auto loaded = graph::LoadEdgeList(input_it->second, *threads);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  graph::MixedSocialNetwork network = std::move(loaded).value();
+
+  // The hyperparameters mirror the training CLI's defaults; the embedding
+  // width is dictated by the checkpointed state, not a flag.
+  core::DeepDirectConfig config =
+      core::MethodConfigs::FastDefaults().deepdirect;
+  config.dimensions = state.dimensions;
+  config.num_threads = *threads;
+  config.d_step.num_threads = *threads;
+  if (flags.contains("seed")) {
+    config.seed = std::strtoull(flags.at("seed").c_str(), nullptr, 10);
+  }
+
+  std::printf("warm-starting from %s (epoch %llu, %zu arcs, l=%zu)\n",
+              dir_it->second.c_str(),
+              static_cast<unsigned long long>(state.epochs_done),
+              state.num_arcs, state.dimensions);
+
+  // --batch takes a comma-separated list; each file is one batch, applied
+  // in order.
+  std::vector<std::string> batch_paths;
+  {
+    std::string remaining = batch_it->second;
+    size_t pos = 0;
+    while ((pos = remaining.find(',')) != std::string::npos) {
+      batch_paths.push_back(remaining.substr(0, pos));
+      remaining.erase(0, pos + 1);
+    }
+    batch_paths.push_back(remaining);
+  }
+
+  std::unique_ptr<core::DeepDirectModel> model;
+  for (const std::string& path : batch_paths) {
+    auto batch = train::LoadTieBatch(path);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "error: %s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    auto updated = core::DeepDirectModel::ApplyTieBatch(
+        network, batch.value(), state, config, options);
+    if (!updated.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   updated.status().ToString().c_str());
+      return 1;
+    }
+    core::IncrementalUpdate update = std::move(updated).value();
+    std::printf(
+        "applied %s: +%zu ties (+%zu nodes), %zu affected arcs, "
+        "%llu E-step steps\n",
+        path.c_str(), update.stats.new_ties, update.stats.new_nodes,
+        update.stats.affected_arcs,
+        static_cast<unsigned long long>(update.stats.estep_steps));
+    network = std::move(update.network);
+    state = std::move(update.state);
+    model = std::move(update.model);
+  }
+
+  const auto saved =
+      train::SaveEStepState(dir_it->second, "deepdirect.estep", state);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved updated E-step state (epoch %llu)\n",
+              static_cast<unsigned long long>(state.epochs_done));
+
+  if (flags.contains("merged-output")) {
+    const auto status =
+        graph::SaveEdgeList(network, flags.at("merged-output"));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote merged network to %s\n",
+                flags.at("merged-output").c_str());
+  }
+
+  if (model == nullptr) {
+    // Zero batch files cannot reach here (--batch is required and yields
+    // at least one path), but guard the dereferences below anyway.
+    std::fprintf(stderr, "error: no batches applied\n");
+    return 1;
+  }
+
+  if (flags.contains("output")) {
+    util::CsvWriter csv(flags.at("output"));
+    csv.WriteRow({"proposer", "responder", "confidence"});
+    const auto predictions = core::DiscoverDirections(network, *model);
+    for (const auto& p : predictions) {
+      csv.WriteRow({std::to_string(p.source), std::to_string(p.target),
+                    std::to_string(p.confidence)});
+    }
+    std::printf("predicted directions for %zu undirected ties\n",
+                predictions.size());
+    std::printf("wrote %s\n", flags.at("output").c_str());
+  }
+  if (flags.contains("truth")) {
+    const int rc = ReportTruthAccuracy(flags.at("truth"), *model);
+    if (rc != 0) return rc;
+  }
+  return MaybeSaveModel(flags, *model);
+}
+
 // Opens a servable model and answers queries over stdin/stdout until EOF
 // or "quit". Banners and the final summary go to stderr so stdout carries
 // nothing but protocol responses (scripted clients diff it directly).
@@ -533,6 +761,7 @@ int Dispatch(const std::string& command,
     return RunDiscoverOrQuantify(command, flags);
   }
   if (command == "embed") return RunEmbed(flags);
+  if (command == "update") return RunUpdate(flags);
   if (command == "serve") return RunServe(flags);
   return Usage();
 }

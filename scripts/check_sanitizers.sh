@@ -33,11 +33,13 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
 # preprocessing stages (pattern precompute, centrality sweeps, two-pass
 # graph build) at num_threads=4, the SIMD kernel layer (dispatch,
 # scalar-vs-SIMD tolerance sweeps, policy interplay) that all trainers now
-# route their inner loops through, and the serving layer (concurrent
-# readers over one mmap'd model through the sharded hot-tie cache).
+# route their inner loops through, the serving layer (concurrent readers
+# over one mmap'd model through the sharded hot-tie cache), and the
+# streaming-update layer (Hogwild incremental E-step over the affected
+# arc set, warm-start state load/save).
 TARGETS=(train_test checkpoint_test deepdirect_test embedding_test
          walks_test ml_test obs_test trace_test centrality_test graph_test
-         kernels_test serve_test)
+         kernels_test serve_test incremental_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # Multi-worker + determinism tests exercise the Hogwild path and the serial

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Split an edge-list network into a streaming-update scenario.
+
+Reads a network in tdl_cli's edge-list format (`# nodes N` header plus
+`u v d|b|u` lines) and writes, into --outdir:
+
+  truth.tsv      hidden ground truth: `u v` lines, true direction u -> v
+  full.edges     the full network with the hidden ties made undirected
+  base.edges     full.edges minus the tail ties (the pre-update network)
+  batch-K.edges  the tail ties, split into --batches delta files
+
+The scenario mirrors graph::HideDirections offline: a --hide-fraction of
+the directed ties is re-typed undirected and recorded in truth.tsv, so a
+model trained on full.edges (full retrain) and one trained on base.edges
+plus `tdl_cli update` over the batches are scored against the SAME ground
+truth via `--truth truth.tsv` — accuracies are directly comparable across
+processes, which a per-process random --hide split would not allow.
+
+Every output carries the full `# nodes N` header so the merged update
+network and the full network agree on the node count even when the tail
+contains the highest-id node. Non-directed ties are emitted as u < v,
+matching WriteEdgeList, so `sort base.edges batch-*.edges` equals
+`sort full.edges` line-for-line (the merged-network parity check in CI).
+"""
+
+import argparse
+import random
+import sys
+
+
+def parse_edge_list(path):
+    nodes = 0
+    ties = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) == 3 and parts[1] == "nodes":
+                    nodes = int(parts[2])
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[2] not in ("d", "b", "u"):
+                sys.exit(f"{path}:{line_no}: malformed line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            ties.append((u, v, parts[2]))
+    if not ties:
+        sys.exit(f"{path}: no ties")
+    max_node = max(max(u, v) for u, v, _ in ties)
+    return max(nodes, max_node + 1), ties
+
+
+def write_edges(path, nodes, ties):
+    with open(path, "w") as f:
+        f.write(f"# nodes {nodes}\n")
+        for u, v, t in ties:
+            if t != "d" and u > v:
+                u, v = v, u
+            f.write(f"{u} {v} {t}\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--input", required=True)
+    ap.add_argument("--outdir", required=True)
+    ap.add_argument("--hide-fraction", type=float, default=0.3,
+                    help="fraction of directed ties hidden as ground truth")
+    ap.add_argument("--batches", type=int, default=3)
+    ap.add_argument("--batch-fraction", type=float, default=0.1,
+                    help="fraction of all ties streamed as the tail")
+    ap.add_argument("--seed", type=int, default=7)
+    args = ap.parse_args()
+
+    rng = random.Random(args.seed)
+    nodes, ties = parse_edge_list(args.input)
+
+    # Hide: re-type a sample of directed ties as undirected; their original
+    # orientation is the ground truth.
+    directed = [i for i, t in enumerate(ties) if t[2] == "d"]
+    num_hidden = int(len(directed) * args.hide_fraction)
+    if num_hidden == 0 or num_hidden >= len(directed):
+        sys.exit(f"--hide-fraction {args.hide_fraction} hides {num_hidden} "
+                 f"of {len(directed)} directed ties; need 0 < hidden < all")
+    hidden = set(rng.sample(directed, num_hidden))
+    truth = [(ties[i][0], ties[i][1]) for i in sorted(hidden)]
+    full = [(u, v, "u") if i in hidden else (u, v, t)
+            for i, (u, v, t) in enumerate(ties)]
+
+    # Tail: a sample of the (post-hide) ties streams in as update batches.
+    # The base must keep at least one directed tie — it is trained alone.
+    num_tail = int(len(full) * args.batch_fraction)
+    if num_tail < args.batches:
+        sys.exit(f"--batch-fraction {args.batch_fraction} yields {num_tail} "
+                 f"tail ties for {args.batches} batches")
+    tail = set(rng.sample(range(len(full)), num_tail))
+    base = [full[i] for i in range(len(full)) if i not in tail]
+    if not any(t == "d" for _, _, t in base):
+        sys.exit("the base network kept no directed ties; lower "
+                 "--batch-fraction or reseed")
+
+    import os
+    os.makedirs(args.outdir, exist_ok=True)
+    with open(os.path.join(args.outdir, "truth.tsv"), "w") as f:
+        for u, v in truth:
+            f.write(f"{u} {v}\n")
+    write_edges(os.path.join(args.outdir, "full.edges"), nodes, full)
+    write_edges(os.path.join(args.outdir, "base.edges"), nodes, base)
+    tail_list = [full[i] for i in sorted(tail)]
+    per = (len(tail_list) + args.batches - 1) // args.batches
+    for k in range(args.batches):
+        chunk = tail_list[k * per:(k + 1) * per]
+        write_edges(os.path.join(args.outdir, f"batch-{k}.edges"),
+                    nodes, chunk)
+    print(f"{len(full)} ties -> base {len(base)}, "
+          f"{args.batches} batches of <= {per}, "
+          f"{len(truth)} hidden-truth ties, {nodes} nodes")
+
+
+if __name__ == "__main__":
+    main()

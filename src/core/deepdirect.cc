@@ -70,9 +70,11 @@ struct InRamEnv {
 
 PatternPrecompute PrecomputePatterns(const MixedSocialNetwork& g,
                                      const TieIndex& idx,
-                                     const DeepDirectConfig& config) {
+                                     const DeepDirectConfig& config,
+                                     std::span<const uint8_t> arc_mask) {
   obs::PhaseScope phase("deepdirect.preprocess.patterns");
   const size_t num_arcs = idx.num_arcs();
+  DD_CHECK(arc_mask.empty() || arc_mask.size() == num_arcs);
 
   PatternPrecompute out;
   out.slot.assign(num_arcs, UINT32_MAX);
@@ -103,6 +105,10 @@ PatternPrecompute PrecomputePatterns(const MixedSocialNetwork& g,
         auto& pairs = block_pairs[b];
         for (size_t s = begin; s < end; ++s) {
           const size_t e = pattern_arcs[s];
+          // Masked-out slots keep zeroed labels and an empty triad set;
+          // the mask contract (see the header) is that Pattern() is never
+          // consulted for them.
+          if (!arc_mask.empty() && arc_mask[e] == 0) continue;
           const auto [u, v] = idx.ArcAt(e);
           // Pattern-consistent Eq. 14 (see header note): ties point toward
           // the higher-degree endpoint, so y^d_{uv} grows with deg(v).
@@ -239,6 +245,10 @@ std::unique_ptr<DeepDirectModel> DeepDirectModel::Train(
         writer.AddVector("n", n.data());
         writer.AddVector("w_prime", w_prime);
         writer.AddPod("b_prime", b_prime);
+        // Binds the snapshot to the training network's closure arcs so a
+        // warm-start consumer (train/incremental.h) rejects "same arc
+        // count, different network" instead of remapping rows silently.
+        writer.AddPod("tie_hash", HashTieIndex(idx));
       },
       [&](const train::CheckpointData& ckpt) -> util::Status {
         std::vector<float> saved_m, saved_n;

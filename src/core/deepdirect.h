@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,7 +50,15 @@
 #include "train/lr_schedule.h"
 #include "train/progress_reporter.h"
 
+namespace deepdirect::train {
+struct TieBatch;    // train/incremental.h
+struct EStepState;  // train/incremental.h
+}  // namespace deepdirect::train
+
 namespace deepdirect::core {
+
+struct IncrementalOptions;  // core/incremental.h
+struct IncrementalUpdate;   // core/incremental.h
 
 /// Out-of-core training (core/sharded_trainer.h). When num_shards > 0,
 /// ShardedDeepDirectModel::Train spills the embedding matrix M, the
@@ -167,9 +176,19 @@ struct PatternPrecompute {
 /// per-arc RNG seeded by (config.seed, arc index), so the result is
 /// bit-identical for every thread count. Exposed for tests and benchmarks;
 /// Train() runs it internally.
+///
+/// `arc_mask` (one byte per closure arc; empty = all arcs) scopes the
+/// expensive per-arc work — degree pseudo-labels, common-neighbor scans,
+/// triad subsampling — to the flagged arcs. Slots are still assigned to
+/// every undirected arc so the slot map stays position-compatible with the
+/// unmasked arena, but unflagged slots carry zeroed labels and empty triad
+/// sets: the caller must guarantee Pattern() is only consulted for flagged
+/// arcs (incremental updates sample sources exclusively from the affected
+/// set, which is exactly the mask).
 PatternPrecompute PrecomputePatterns(const graph::MixedSocialNetwork& g,
                                      const TieIndex& idx,
-                                     const DeepDirectConfig& config);
+                                     const DeepDirectConfig& config,
+                                     std::span<const uint8_t> arc_mask = {});
 
 /// A trained DeepDirect model: embedding matrix + directionality head.
 class DeepDirectModel : public DirectionalityModel {
@@ -179,6 +198,19 @@ class DeepDirectModel : public DirectionalityModel {
   /// one directed tie (the TDL problem needs labeled data).
   static std::unique_ptr<DeepDirectModel> Train(
       const graph::MixedSocialNetwork& g, const DeepDirectConfig& config);
+
+  /// Streaming update (core/incremental.h): splices a batch of new ties
+  /// into `g`, warm-starts M/N and the joint classifier from `state` (the
+  /// last checkpoint of a full training run or a previous update), runs
+  /// the E-step only over new and pattern-affected arcs under a per-batch
+  /// step quota, retrains the D-step, and returns the merged network, the
+  /// updated model, and the chained warm-start state. Purely functional:
+  /// on any error — a tie duplicating an existing edge (line-numbered), a
+  /// state/network mismatch — nothing is mutated and no file is written.
+  static util::Result<IncrementalUpdate> ApplyTieBatch(
+      const graph::MixedSocialNetwork& g, const train::TieBatch& batch,
+      const train::EStepState& state, const DeepDirectConfig& config,
+      const IncrementalOptions& options);
 
   /// d(u, v) = σ(w·m_uv + b). The pair must host a tie of the training
   /// network.

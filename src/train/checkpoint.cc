@@ -463,14 +463,21 @@ void Checkpointer::Prune() const {
 bool Checkpointer::AtEpochBoundary(const EpochEnd& end,
                                    const util::Rng& rng) {
   ++epochs_this_run_;
-  if (enabled() && !end.last) {
+  if (enabled()) {
     const CheckpointPolicy& policy = options_.policy;
-    const bool epoch_due = policy.every_n_epochs > 0 &&
-                           (end.epoch + 1) % policy.every_n_epochs == 0;
-    const bool time_due =
-        policy.every_seconds > 0.0 &&
-        since_last_write_.ElapsedSeconds() >= policy.every_seconds;
-    if (epoch_due || time_due) Write(end, rng);
+    if (end.last) {
+      // The final boundary is only written on request (write_final): a
+      // completed run needs no resume point, but warm-start consumers
+      // need the fully-trained state.
+      if (policy.write_final) Write(end, rng);
+    } else {
+      const bool epoch_due = policy.every_n_epochs > 0 &&
+                             (end.epoch + 1) % policy.every_n_epochs == 0;
+      const bool time_due =
+          policy.every_seconds > 0.0 &&
+          since_last_write_.ElapsedSeconds() >= policy.every_seconds;
+      if (epoch_due || time_due) Write(end, rng);
+    }
   }
   if (options_.stop_after_epochs > 0 &&
       epochs_this_run_ >= options_.stop_after_epochs && !end.last) {

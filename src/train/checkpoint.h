@@ -186,6 +186,11 @@ struct CheckpointPolicy {
   /// Keep only the newest K checkpoints of this trainer (older ones are
   /// pruned after each write); 0 keeps all.
   size_t keep_last = 3;
+  /// Also write at the final epoch boundary. Off by default (a completed
+  /// run needs no resume point), but required by warm-start consumers —
+  /// incremental tie-batch updates (train/incremental.h) read the *final*
+  /// E-step state, not the one-epoch-short snapshot resume needs.
+  bool write_final = false;
 
   /// True when either trigger can fire.
   bool Active() const { return every_n_epochs > 0 || every_seconds > 0.0; }
